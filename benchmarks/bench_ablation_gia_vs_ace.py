@@ -1,0 +1,94 @@
+"""Section 2's Gia comparison: a *different* matching problem.
+
+"Gia introduced a topology adaptation algorithm to ensure that high
+capacity nodes are indeed the ones with high degree ...  It addresses a
+different matching problem in overlay networks, but does not address the
+topology mismatching problem between the overlay and physical networks."
+
+This bench runs Gia-style adaptation and ACE on copies of the same overlay
+and reports both objectives: the capacity-degree correlation (Gia's) and
+the average logical-link cost / query traffic (ACE's).  Each scheme should
+win its own metric and barely move the other's.
+"""
+
+import numpy as np
+from conftest import BASE, report
+
+from repro.core.ace import AceProtocol
+from repro.experiments.reporting import format_table
+from repro.experiments.setup import build_scenario
+from repro.extensions.gia import GiaAdaptation, assign_capacities
+from repro.search.flooding import blind_flooding_strategy, propagate
+from repro.search.tree_routing import ace_strategy
+
+STEPS = 6
+
+
+def test_ablation_gia_vs_ace(benchmark, capsys):
+    def run():
+        scenario = build_scenario(BASE)
+        capacities = assign_capacities(
+            scenario.overlay.peers(), np.random.default_rng(23)
+        )
+        sources = scenario.overlay.peers()[:10]
+
+        def snapshot(overlay, strategy, caps):
+            gia_probe = GiaAdaptation(overlay, capacities=dict(caps),
+                                      rng=np.random.default_rng(0))
+            corr = gia_probe.capacity_degree_correlation()
+            link_cost = overlay.total_edge_cost() / max(1, overlay.num_edges)
+            traffic = sum(
+                propagate(overlay, s, strategy, ttl=None).traffic_cost
+                for s in sources if overlay.has_peer(s)
+            ) / len(sources)
+            return corr, link_cost, traffic
+
+        base_overlay = scenario.overlay
+        baseline = snapshot(
+            base_overlay, blind_flooding_strategy(base_overlay), capacities
+        )
+
+        gia_overlay = scenario.fresh_overlay()
+        gia = GiaAdaptation(
+            gia_overlay, capacities=dict(capacities),
+            rng=np.random.default_rng(24),
+        )
+        gia.run(STEPS)
+        gia_snap = snapshot(
+            gia_overlay, blind_flooding_strategy(gia_overlay), capacities
+        )
+
+        ace_overlay = scenario.fresh_overlay()
+        protocol = AceProtocol(ace_overlay, rng=np.random.default_rng(24))
+        protocol.run(STEPS)
+        ace_snap = snapshot(ace_overlay, ace_strategy(protocol), capacities)
+        return baseline, gia_snap, ace_snap
+
+    baseline, gia_snap, ace_snap = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["unoptimized", round(baseline[0], 3), round(baseline[1]), round(baseline[2])],
+        [f"gia ({STEPS} rounds)", round(gia_snap[0], 3), round(gia_snap[1]),
+         round(gia_snap[2])],
+        [f"ace ({STEPS} rounds)", round(ace_snap[0], 3), round(ace_snap[1]),
+         round(ace_snap[2])],
+    ]
+    report(
+        capsys,
+        format_table(
+            ["scheme", "capacity-degree corr", "avg link cost", "traffic/query"],
+            rows,
+            title=(
+                "Section 2: Gia fixes capacity matching, ACE fixes topology "
+                "mismatching — different problems"
+            ),
+        ),
+    )
+
+    # Gia wins its metric, barely touches the mismatch.
+    assert gia_snap[0] > baseline[0] + 0.2
+    assert gia_snap[1] > 0.85 * baseline[1]
+    # ACE wins its metric (cheaper links, less traffic) and does not solve
+    # Gia's (correlation stays near the baseline's).
+    assert ace_snap[1] < baseline[1]
+    assert ace_snap[2] < gia_snap[2]
+    assert ace_snap[0] < gia_snap[0] - 0.2

@@ -1,0 +1,81 @@
+"""Ablation: Phase-3 candidate policies (paper Section 6 future work).
+
+The paper evaluates only the *random* policy and sketches two alternatives:
+*naive* (cut the most expensive neighbor, probe random peers anywhere) and
+*closest* (probe the whole neighbor list, pick the best).  This bench runs
+all three, reporting converged traffic and total probe overhead — closest
+should win on traffic but pay the most probes.
+"""
+
+import numpy as np
+from conftest import BASE, report
+
+from repro.core.ace import AceConfig, AceProtocol
+from repro.experiments.reporting import format_table
+from repro.experiments.setup import build_scenario
+from repro.search.flooding import blind_flooding_strategy, propagate
+from repro.search.tree_routing import ace_strategy
+
+POLICIES = ("random", "closest", "naive")
+STEPS = 8
+
+
+def test_ablation_policies(benchmark, capsys):
+    def run_all():
+        scenario = build_scenario(BASE)
+        peers = scenario.overlay.peers()
+        src_rng = np.random.default_rng(1)
+        sources = [peers[int(i)] for i in src_rng.integers(0, len(peers), 16)]
+
+        def measure(ov, strategy):
+            return sum(
+                propagate(ov, s, strategy, ttl=None).traffic_cost
+                for s in sources
+            ) / len(sources)
+
+        baseline = measure(
+            scenario.overlay, blind_flooding_strategy(scenario.overlay)
+        )
+        out = {}
+        for policy in POLICIES:
+            ov = scenario.fresh_overlay()
+            protocol = AceProtocol(
+                ov, AceConfig(policy=policy), rng=np.random.default_rng(3)
+            )
+            reports = protocol.run(STEPS)
+            out[policy] = (
+                measure(ov, ace_strategy(protocol)),
+                sum(r.replacement_probe_overhead for r in reports),
+                sum(r.probes for r in reports),
+            )
+        return baseline, out
+
+    baseline, results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [
+            policy,
+            round(traffic),
+            round(100 * (baseline - traffic) / baseline, 1),
+            round(probe_cost),
+            probes,
+        ]
+        for policy, (traffic, probe_cost, probes) in results.items()
+    ]
+    report(
+        capsys,
+        format_table(
+            ["policy", "traffic/query", "reduction %", "probe overhead", "probes"],
+            rows,
+            title=(
+                f"Ablation: Phase-3 candidate policies after {STEPS} rounds "
+                f"(blind flooding baseline {baseline:.0f})"
+            ),
+        ),
+    )
+
+    for traffic, _cost, _probes in results.values():
+        assert traffic < baseline
+    # Closest probes the whole pool: strictly more probes than random.
+    assert results["closest"][2] > results["random"][2]
+    # The extra information buys traffic at least as good as random's.
+    assert results["closest"][0] <= results["random"][0] * 1.1

@@ -1,0 +1,86 @@
+"""Ablation: redundant-link shedding and the keep-both branch.
+
+DESIGN.md calls out two behavioural choices in Phase 3: the Figure 4(c)
+"keep both" addition and the redundant-link shedding that later resolves the
+triangles it creates.  This bench compares four configurations on converged
+traffic and final average degree — keep-both without shedding must show the
+degree creep that motivates the shed rule.
+"""
+
+import numpy as np
+from conftest import BASE, report
+
+from repro.core.ace import AceConfig, AceProtocol
+from repro.experiments.reporting import format_table
+from repro.experiments.setup import build_scenario
+from repro.search.flooding import blind_flooding_strategy, propagate
+from repro.search.tree_routing import ace_strategy
+
+CONFIGS = {
+    "full ace": AceConfig(),
+    "no shedding": AceConfig(shed_redundant=False),
+    "no keep-both": AceConfig(allow_keep_both=False),
+    "swap only": AceConfig(allow_keep_both=False, shed_redundant=False),
+}
+STEPS = 8
+
+
+def test_ablation_shedding(benchmark, capsys):
+    def run_all():
+        scenario = build_scenario(BASE)
+        peers = scenario.overlay.peers()
+        src_rng = np.random.default_rng(1)
+        sources = [peers[int(i)] for i in src_rng.integers(0, len(peers), 16)]
+
+        def measure(ov, strategy):
+            return sum(
+                propagate(ov, s, strategy, ttl=None).traffic_cost
+                for s in sources
+            ) / len(sources)
+
+        baseline = measure(
+            scenario.overlay, blind_flooding_strategy(scenario.overlay)
+        )
+        initial_degree = scenario.overlay.average_degree()
+        out = {}
+        for name, config in CONFIGS.items():
+            ov = scenario.fresh_overlay()
+            protocol = AceProtocol(ov, config, rng=np.random.default_rng(5))
+            protocol.run(STEPS)
+            out[name] = (
+                measure(ov, ace_strategy(protocol)),
+                ov.average_degree(),
+            )
+        return baseline, initial_degree, out
+
+    baseline, initial_degree, results = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            name,
+            round(traffic),
+            round(100 * (baseline - traffic) / baseline, 1),
+            round(degree, 2),
+        ]
+        for name, (traffic, degree) in results.items()
+    ]
+    report(
+        capsys,
+        format_table(
+            ["config", "traffic/query", "reduction %", "final avg degree"],
+            rows,
+            title=(
+                f"Ablation: shedding / keep-both after {STEPS} rounds "
+                f"(initial degree {initial_degree:.2f}, "
+                f"blind baseline {baseline:.0f})"
+            ),
+        ),
+    )
+
+    for traffic, _deg in results.values():
+        assert traffic < baseline
+    # Keep-both without shedding grows the degree; full ACE keeps it near
+    # the initial connection budget.
+    assert results["no shedding"][1] > initial_degree + 1.0
+    assert abs(results["full ace"][1] - initial_degree) < 2.0

@@ -1,0 +1,104 @@
+"""Closing the paper's loop: adaptive depth selection from measured R.
+
+Section 5.3: "if the frequency of the topology and cost changes and query
+frequency can be measured so that R is determined, we should be able to
+adjust the value of h to achieve optimal gain/penalty ratio".  This bench
+feeds the measured Figure 11/12 sweep into a :class:`DepthAdvisor`, prints
+its per-R recommendation, and runs the :class:`AdaptiveAceProtocol` under
+two workload regimes — query-starved (ACE should park itself) and
+query-heavy (ACE should run at the advisor's depth and cut traffic).
+"""
+
+import numpy as np
+from conftest import BASE, depth_sweep, report
+
+from repro.core.adaptive_depth import AdaptiveAceProtocol, DepthAdvisor
+from repro.experiments.opt_rate import REPRO_R_VALUES
+from repro.experiments.reporting import format_table
+from repro.experiments.setup import build_scenario
+from repro.search.flooding import blind_flooding_strategy, propagate
+from repro.search.tree_routing import ace_strategy
+
+DEGREE = 8
+STEPS = 6
+
+
+def test_adaptive_depth(benchmark, capsys):
+    def run():
+        sweep = depth_sweep()
+        advisor = DepthAdvisor(sweep.for_degree(DEGREE))
+        recommendations = [
+            (r, advisor.recommend(r), advisor.best_depth(r)[1])
+            for r in REPRO_R_VALUES
+        ]
+
+        scenario = build_scenario(BASE)
+        sources = scenario.overlay.peers()[:10]
+
+        def traffic(overlay, strategy):
+            return sum(
+                propagate(overlay, s, strategy, ttl=None).traffic_cost
+                for s in sources
+            ) / len(sources)
+
+        baseline = traffic(
+            scenario.overlay, blind_flooding_strategy(scenario.overlay)
+        )
+
+        # Query-starved regime: churn dominates, R << 1.
+        starved_overlay = scenario.fresh_overlay()
+        starved = AdaptiveAceProtocol(
+            starved_overlay, advisor, rng=np.random.default_rng(2)
+        )
+        for t in range(30):
+            starved.estimator.observe_query(float(t), count=1)
+            starved.estimator.observe_change(float(t), count=20)
+        starved.run(STEPS)
+
+        # Query-heavy regime: R large, optimization pays for itself.
+        heavy_overlay = scenario.fresh_overlay()
+        heavy = AdaptiveAceProtocol(
+            heavy_overlay, advisor, rng=np.random.default_rng(2)
+        )
+        for t in range(30):
+            heavy.estimator.observe_query(float(t), count=40)
+            heavy.estimator.observe_change(float(t), count=1)
+        heavy.run(STEPS)
+        heavy_traffic = traffic(heavy_overlay, ace_strategy(heavy))
+        return recommendations, baseline, starved, heavy, heavy_traffic
+
+    recommendations, baseline, starved, heavy, heavy_traffic = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    report(
+        capsys,
+        format_table(
+            ["R", "recommended h", "best rate"],
+            [(f"{r:g}", h, round(rate, 3)) for r, h, rate in recommendations],
+            title=f"Depth advisor recommendations from the measured sweep (C={DEGREE})",
+        ),
+    )
+    report(
+        capsys,
+        format_table(
+            ["regime", "parked steps", "depths used", "traffic/query"],
+            [
+                ["query-starved (R<<1)", starved.parked_steps,
+                 str(starved.depth_history or "-"), round(baseline)],
+                ["query-heavy (R>>1)", heavy.parked_steps,
+                 str(heavy.depth_history), round(heavy_traffic)],
+            ],
+            title=(
+                "Adaptive ACE under two regimes "
+                f"(blind-flooding baseline {baseline:.0f})"
+            ),
+        ),
+    )
+
+    # Query-starved: the protocol must park itself every step.
+    assert starved.parked_steps == STEPS
+    assert starved.depth_history == []
+    # Query-heavy: it runs and cuts traffic.
+    assert heavy.parked_steps == 0
+    assert len(heavy.depth_history) == STEPS
+    assert heavy_traffic < baseline

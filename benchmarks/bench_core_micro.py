@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the hot code paths.
+
+These use pytest-benchmark's normal repeated timing (unlike the figure
+benches, which run heavy simulations once): Prim over a closure, closure
+construction, one flooding propagation, and one ACE peer optimization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ace import AceConfig, AceProtocol, StepReport
+from repro.core.closure import neighbor_closure
+from repro.core.spanning_tree import prim_mst, prim_mst_heap
+from repro.experiments.setup import ScenarioConfig, build_scenario
+from repro.search.flooding import blind_flooding_strategy, propagate
+from repro.search.tree_routing import ace_strategy
+
+
+@pytest.fixture(scope="module")
+def world():
+    scenario = build_scenario(
+        ScenarioConfig(physical_nodes=800, peers=128, avg_degree=8, seed=9)
+    )
+    protocol = AceProtocol(
+        scenario.overlay, AceConfig(depth=2), rng=np.random.default_rng(9)
+    )
+    protocol.step()
+    return scenario, protocol
+
+
+def test_micro_neighbor_closure(benchmark, world):
+    scenario, _protocol = world
+    source = scenario.overlay.peers()[0]
+    closure = benchmark(neighbor_closure, scenario.overlay, source, 2)
+    assert closure.size > 1
+
+
+def test_micro_prim_heap(benchmark, world):
+    scenario, _protocol = world
+    source = scenario.overlay.peers()[0]
+    closure = neighbor_closure(scenario.overlay, source, 2)
+    tree = benchmark(prim_mst_heap, closure.edges, source)
+    assert tree.nodes() == set(closure.members)
+
+
+def test_micro_prim_array(benchmark, world):
+    scenario, _protocol = world
+    source = scenario.overlay.peers()[0]
+    closure = neighbor_closure(scenario.overlay, source, 1)
+    tree = benchmark(prim_mst, closure.edges, source)
+    assert tree.root == source
+
+
+def test_micro_blind_flood(benchmark, world):
+    scenario, _protocol = world
+    overlay = scenario.overlay
+    source = overlay.peers()[0]
+    strategy = blind_flooding_strategy(overlay)
+    prop = benchmark(propagate, overlay, source, strategy, None)
+    assert prop.search_scope == overlay.num_peers
+
+
+def test_micro_ace_routing(benchmark, world):
+    scenario, protocol = world
+    overlay = scenario.overlay
+    source = overlay.peers()[0]
+    strategy = ace_strategy(protocol)
+    prop = benchmark(propagate, overlay, source, strategy, None)
+    assert prop.search_scope == overlay.num_peers
+
+
+def test_micro_optimize_one_peer(benchmark, world):
+    scenario, protocol = world
+    peer = scenario.overlay.peers()[0]
+
+    def optimize():
+        return protocol.optimize_peer(peer, StepReport(step_index=0))
+
+    benchmark(optimize)

@@ -1,0 +1,49 @@
+"""Figure 7: traffic cost per query vs. ACE optimization steps (static).
+
+Paper: "the traffic cost decreases when ACE is conducted multiple times,
+where the search scope is all peers.  ACE may reduce traffic cost by around
+50% and it converges in around 10 steps."  One curve per average neighbor
+count C in {4, 6, 8, 10}; step 0 is blind flooding.
+"""
+
+from conftest import DEGREES, report, static_series
+
+from repro.experiments.reporting import format_series
+
+
+def test_fig07_traffic_vs_steps(benchmark, capsys):
+    series = benchmark.pedantic(static_series, rounds=1, iterations=1)
+    steps = series[DEGREES[0]].steps
+    table = format_series(
+        "step",
+        steps,
+        {
+            f"C={c} traffic/query": [round(t) for t in series[c].traffic_per_query]
+            for c in DEGREES
+        },
+        title="Figure 7: avg traffic cost per full-coverage query vs ACE steps",
+    )
+    report(capsys, table)
+    summary = format_series(
+        "C",
+        list(DEGREES),
+        {
+            "traffic reduction %": [
+                round(series[c].traffic_reduction_percent, 1) for c in DEGREES
+            ]
+        },
+        title="Figure 7 summary (paper: ~50% reduction, more for denser overlays)",
+    )
+    report(capsys, summary)
+
+    for c in DEGREES:
+        s = series[c]
+        # Converged traffic must sit well below the blind-flooding baseline
+        # and the search scope must be retained at every step.
+        assert s.traffic_per_query[-1] < s.traffic_per_query[0]
+        assert all(x == s.search_scope[0] for x in s.search_scope)
+    # Denser overlays benefit more (Figure 7/11 trend).
+    assert (
+        series[10].traffic_reduction_percent
+        > series[4].traffic_reduction_percent
+    )

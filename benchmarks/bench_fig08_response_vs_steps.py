@@ -1,0 +1,39 @@
+"""Figure 8: average response time vs. ACE optimization steps (static).
+
+Paper: "ACE can shorten the query response time by about 35% after 10
+steps."  Shares the static convergence runs with Figure 7.
+"""
+
+from conftest import DEGREES, report, static_series
+
+from repro.experiments.reporting import format_series
+
+
+def test_fig08_response_vs_steps(benchmark, capsys):
+    series = benchmark.pedantic(static_series, rounds=1, iterations=1)
+    steps = series[DEGREES[0]].steps
+    table = format_series(
+        "step",
+        steps,
+        {
+            f"C={c} response": [round(t) for t in series[c].response_time]
+            for c in DEGREES
+        },
+        title="Figure 8: avg response time per query vs ACE steps",
+    )
+    report(capsys, table)
+    summary = format_series(
+        "C",
+        list(DEGREES),
+        {
+            "response reduction %": [
+                round(series[c].response_reduction_percent, 1) for c in DEGREES
+            ]
+        },
+        title="Figure 8 summary (paper: ~35% reduction after 10 steps)",
+    )
+    report(capsys, summary)
+
+    for c in DEGREES:
+        s = series[c]
+        assert s.response_time[-1] < s.response_time[0]

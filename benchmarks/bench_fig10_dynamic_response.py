@@ -1,0 +1,40 @@
+"""Figure 10: average response time per query in a dynamic P2P environment.
+
+Paper: "with reduction of the traffic, the queries' average response times
+of ACE are also reduced in a dynamic environment."
+"""
+
+from conftest import dynamic_arms, report
+
+from repro.experiments.reporting import format_series
+
+
+def test_fig10_dynamic_response(benchmark, capsys):
+    arms = benchmark.pedantic(dynamic_arms, rounds=1, iterations=1)
+    n_windows = len(arms["gnutella"].response_points)
+    window = arms["gnutella"].window
+    table = format_series(
+        f"queries (x{window})",
+        list(range(1, n_windows + 1)),
+        {
+            name: [round(p) for p in series.response_points]
+            for name, series in arms.items()
+        },
+        title="Figure 10: avg response time per query under churn",
+    )
+    report(capsys, table)
+
+    gnutella = arms["gnutella"]
+    ace = arms["ace"]
+    half = max(1, n_windows // 2)
+    g_steady = sum(gnutella.response_points[half:]) / len(
+        gnutella.response_points[half:]
+    )
+    a_steady = sum(ace.response_points[half:]) / len(ace.response_points[half:])
+    reduction = 100.0 * (g_steady - a_steady) / g_steady
+    report(
+        capsys,
+        f"Figure 10 steady-state response reduction: {reduction:.1f}% "
+        "(paper: ~35%)",
+    )
+    assert a_steady < g_steady

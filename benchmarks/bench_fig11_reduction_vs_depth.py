@@ -1,0 +1,41 @@
+"""Figure 11: query-traffic reduction rate vs. depth of neighbor closure.
+
+Paper: "For a given depth of neighbor closure, the reduction rate increases
+with increased average number of neighbors.  For a given average number of
+neighbors, the reduction rate also increases as the depths of neighbor
+closure increases.  There is a threshold of depth for each C, from which the
+query traffic is hard to be further reduced."
+"""
+
+from conftest import DEGREES, DEPTHS, depth_sweep, report
+
+from repro.experiments.reporting import format_series
+
+
+def test_fig11_reduction_vs_depth(benchmark, capsys):
+    sweep = benchmark.pedantic(depth_sweep, rounds=1, iterations=1)
+    table = format_series(
+        "h",
+        list(DEPTHS),
+        {
+            f"C={c} reduction %": [
+                round(t.reduction_percent, 1) for t in sweep.for_degree(c)
+            ]
+            for c in DEGREES
+        },
+        title="Figure 11: query traffic reduction rate (%) vs closure depth h",
+    )
+    report(capsys, table)
+
+    for c in DEGREES:
+        tradeoffs = sweep.for_degree(c)
+        # Reduction is positive everywhere and saturates: the deepest value
+        # is (near-)maximal.
+        assert all(t.reduction_percent > 0 for t in tradeoffs)
+        best = max(t.reduction_percent for t in tradeoffs)
+        assert tradeoffs[-1].reduction_percent > best - 10.0
+    # Denser overlays reduce more at every depth.
+    for h_idx in range(len(DEPTHS)):
+        low = sweep.for_degree(DEGREES[0])[h_idx].reduction_percent
+        high = sweep.for_degree(DEGREES[-1])[h_idx].reduction_percent
+        assert high > low

@@ -1,0 +1,38 @@
+"""Figure 12: overhead traffic vs. depth of neighbor closure.
+
+Paper: "The overhead traffic increases as the depths of neighbor closure
+increases, or as the average number of neighbors increases."  (In our
+laptop-scale networks the closure saturates at the network size around
+h = 3-4, so the curves flatten earlier than the paper's 8000-peer systems.)
+"""
+
+from conftest import DEGREES, DEPTHS, depth_sweep, report
+
+from repro.experiments.reporting import format_series
+
+
+def test_fig12_overhead_vs_depth(benchmark, capsys):
+    sweep = benchmark.pedantic(depth_sweep, rounds=1, iterations=1)
+    table = format_series(
+        "h",
+        list(DEPTHS),
+        {
+            f"C={c} overhead": [
+                round(t.overhead_per_reconstruction)
+                for t in sweep.for_degree(c)
+            ]
+            for c in DEGREES
+        },
+        title="Figure 12: overhead traffic per reconstruction round vs depth h",
+    )
+    report(capsys, table)
+
+    for c in DEGREES:
+        ts = sweep.for_degree(c)
+        # Monotone growth from the shallowest to the deepest depth.
+        assert ts[-1].overhead_per_reconstruction > ts[0].overhead_per_reconstruction
+    # Denser overlays pay more overhead at every depth.
+    for h_idx in range(len(DEPTHS)):
+        low = sweep.for_degree(DEGREES[0])[h_idx].overhead_per_reconstruction
+        high = sweep.for_degree(DEGREES[-1])[h_idx].overhead_per_reconstruction
+        assert high > low

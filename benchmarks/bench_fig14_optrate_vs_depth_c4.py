@@ -1,0 +1,57 @@
+"""Figure 14: optimization rate vs. closure depth h at C = 4.
+
+Paper: "for a large value of C, a small minimal value of h is needed to
+achieve performance gain for a given value of R" — the sparse C = 4 overlay
+needs deeper closures (or larger R) than C = 10 before ACE pays off.
+"""
+
+from conftest import depth_sweep, report
+
+from repro.experiments.opt_rate import (
+    REPRO_R_VALUES,
+    minimal_depths_table,
+    rate_vs_depth,
+)
+from repro.experiments.reporting import format_series, format_table
+
+DEGREE = 4
+
+
+def test_fig14_optrate_vs_depth_c4(benchmark, capsys):
+    sweep = benchmark.pedantic(depth_sweep, rounds=1, iterations=1)
+    series = rate_vs_depth(sweep, DEGREE, REPRO_R_VALUES)
+    depths = [h for h, _ in series[REPRO_R_VALUES[0]]]
+    table = format_series(
+        "h",
+        depths,
+        {f"R={r:g}": [round(rate, 3) for _h, rate in series[r]] for r in REPRO_R_VALUES},
+        title=f"Figure 14: optimization rate vs depth h (C={DEGREE})",
+    )
+    report(capsys, table)
+
+    minima = minimal_depths_table(sweep, REPRO_R_VALUES)
+    rows = [
+        [f"R={r:g}"] + [minima[c].get(r) for c in sorted(minima)]
+        for r in REPRO_R_VALUES
+    ]
+    report(
+        capsys,
+        format_table(
+            ["", *(f"C={c} min h" for c in sorted(minima))],
+            rows,
+            title=(
+                "Figures 13-14 minimal depth for gain "
+                "(paper: smaller for larger C; none at R=1)"
+            ),
+        ),
+    )
+
+    # At R = 1 ACE never pays off at C = 4 either.
+    assert all(rate < 1.0 for _h, rate in series[1.0])
+    # Paper's cross-density claim: whenever both densities achieve gain at
+    # some R, the denser overlay's minimal depth is not larger.
+    for r in REPRO_R_VALUES:
+        dense = minima[10][r]
+        sparse = minima[4][r]
+        if dense is not None and sparse is not None:
+            assert dense <= sparse

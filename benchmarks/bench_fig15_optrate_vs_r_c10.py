@@ -1,0 +1,32 @@
+"""Figure 15: optimization rate vs. frequency ratio R at C = 10.
+
+Paper: "When the value R increases, the optimization rate significantly
+increases.  A large value of R means that the query frequency is high and
+the tree reconstruction frequency is low."
+"""
+
+from conftest import DEPTHS, depth_sweep, report
+
+from repro.experiments.opt_rate import REPRO_R_VALUES, rate_vs_frequency_ratio
+from repro.experiments.reporting import format_series
+
+DEGREE = 10
+
+
+def test_fig15_optrate_vs_r_c10(benchmark, capsys):
+    sweep = benchmark.pedantic(depth_sweep, rounds=1, iterations=1)
+    series = rate_vs_frequency_ratio(sweep, DEGREE, REPRO_R_VALUES, depths=DEPTHS)
+    table = format_series(
+        "R",
+        [f"{r:g}" for r in REPRO_R_VALUES],
+        {f"h={h}": [round(rate, 3) for _r, rate in series[h]] for h in DEPTHS},
+        title=f"Figure 15: optimization rate vs frequency ratio R (C={DEGREE})",
+    )
+    report(capsys, table)
+
+    for h in DEPTHS:
+        rates = [rate for _r, rate in series[h]]
+        # Strictly increasing in R (rate is linear in R).
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+        # Not profitable at R = 1.
+        assert rates[0] < 1.0

@@ -1,0 +1,54 @@
+"""Tables 1-2 / Figures 5-6: the six-peer walkthrough.
+
+Regenerates the paper's worked example: query paths and per-hop costs for
+overlay trees built in 1- and 2-neighbor closures, against blind flooding.
+The paper's relations — duplicates 3 -> 1 -> 0 and strictly decreasing total
+cost — are printed and asserted.
+"""
+
+from conftest import report
+
+from repro.experiments.paper_example import run_walkthrough
+from repro.experiments.reporting import format_table
+
+
+def _render(walk):
+    rows = [(frm, to, cost) for frm, to, cost in walk.rows()]
+    table = format_table(
+        ["from", "to", "cost"],
+        rows,
+        title=(
+            f"{walk.scheme}: total={walk.total_cost:.0f} "
+            f"messages={walk.messages} duplicates={walk.duplicate_messages}"
+        ),
+    )
+    return table
+
+
+def test_tables_1_and_2(benchmark, capsys):
+    walks = benchmark.pedantic(
+        lambda: {
+            "blind": run_walkthrough(None),
+            "h1": run_walkthrough(1),
+            "h2": run_walkthrough(2),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for walk in walks.values():
+        report(capsys, _render(walk))
+
+    blind, h1, h2 = walks["blind"], walks["h1"], walks["h2"]
+    assert h2.total_cost < h1.total_cost < blind.total_cost
+    assert blind.duplicate_messages > h1.duplicate_messages > h2.duplicate_messages
+    assert h2.duplicate_messages == 0
+    assert blind.reached == h1.reached == h2.reached
+    summary = format_table(
+        ["scheme", "total cost", "messages", "duplicates"],
+        [
+            (w.scheme, w.total_cost, w.messages, w.duplicate_messages)
+            for w in walks.values()
+        ],
+        title="Tables 1-2 summary (paper: unnecessary messages 3 -> 1 -> 0)",
+    )
+    report(capsys, summary)

@@ -1,0 +1,61 @@
+"""Section 4.1 validation: generated topologies are power-law small worlds.
+
+Paper: "Previous studies have shown that both large scale Internet physical
+topologies and P2P overlay topologies follow small world and power law
+properties" — the generators must reproduce that shape before any other
+experiment is meaningful.
+"""
+
+import numpy as np
+from conftest import BASE, report
+
+from repro.experiments.reporting import format_table
+from repro.experiments.setup import build_scenario
+from repro.topology.properties import analyze
+from repro.topology.trace import synthesize_gnutella_snapshot
+
+
+def test_topology_properties(benchmark, capsys):
+    def build_and_analyze():
+        scenario = build_scenario(BASE)
+        underlay = analyze(scenario.physical, samples=48)
+        overlay = analyze(scenario.overlay, samples=96)
+        snapshot = synthesize_gnutella_snapshot(
+            scenario.physical,
+            n_peers=BASE.peers,
+            rng=np.random.default_rng(BASE.seed),
+        )
+        trace = analyze(snapshot, samples=96)
+        return underlay, overlay, trace
+
+    underlay, overlay, trace = benchmark.pedantic(
+        build_and_analyze, rounds=1, iterations=1
+    )
+    rows = [
+        ["BA underlay", underlay.num_nodes, round(underlay.average_degree, 2),
+         round(underlay.power_law_alpha, 2), round(underlay.clustering, 3),
+         round(underlay.path_length, 2), round(underlay.small_world_sigma, 2)],
+        ["small-world overlay", overlay.num_nodes, round(overlay.average_degree, 2),
+         round(overlay.power_law_alpha, 2), round(overlay.clustering, 3),
+         round(overlay.path_length, 2), round(overlay.small_world_sigma, 2)],
+        ["Clip2-style snapshot", trace.num_nodes, round(trace.average_degree, 2),
+         round(trace.power_law_alpha, 2), round(trace.clustering, 3),
+         round(trace.path_length, 2), round(trace.small_world_sigma, 2)],
+    ]
+    report(
+        capsys,
+        format_table(
+            ["topology", "n", "<k>", "alpha", "C", "L", "sigma"],
+            rows,
+            title="Section 4.1: power-law / small-world validation",
+        ),
+    )
+
+    # Power-law exponents in the measured Internet/Gnutella range.
+    assert 1.5 < underlay.power_law_alpha < 4.0
+    assert 1.5 < overlay.power_law_alpha < 4.0
+    assert 1.5 < trace.power_law_alpha < 4.0
+    # Small-world: short paths plus clustering well above random.
+    assert overlay.clustering > 0.1
+    assert overlay.small_world_sigma > 1.5
+    assert underlay.small_world_sigma > 1.0

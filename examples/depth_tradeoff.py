@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The closure-depth trade-off (paper Section 5.3, Figures 11-16).
+
+Sweeps the h-neighbor-closure depth for two overlay densities and prints:
+
+* the query-traffic reduction rate per depth (Figure 11),
+* the per-round overhead traffic (Figure 12), and
+* the optimization rate (gain/penalty) across frequency ratios R, with the
+  minimal depth achieving rate > 1 (Figures 13-16).
+
+Run:  python examples/depth_tradeoff.py [peers]
+"""
+
+import sys
+
+from repro.experiments.depth_sweep import DepthSweepConfig, run_depth_sweep
+from repro.experiments.opt_rate import (
+    REPRO_R_VALUES,
+    minimal_depths_table,
+    rate_vs_depth,
+)
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.setup import ScenarioConfig
+
+
+def main(peers: int = 96) -> None:
+    degrees = (4, 10)
+    depths = (1, 2, 3, 4)
+    print(f"Sweeping C={degrees} x h={depths} on {peers}-peer overlays...")
+    sweep = run_depth_sweep(DepthSweepConfig(
+        degrees=degrees,
+        depths=depths,
+        convergence_steps=6,
+        query_samples=12,
+        base=ScenarioConfig(
+            physical_nodes=max(8 * peers, 400), peers=peers, seed=30
+        ),
+    ))
+
+    print()
+    print(format_series(
+        "h", list(depths),
+        {
+            f"C={c} reduction %": [
+                round(t.reduction_percent, 1) for t in sweep.for_degree(c)
+            ]
+            for c in degrees
+        },
+        title="Query traffic reduction rate vs closure depth (Figure 11)",
+    ))
+    print()
+    print(format_series(
+        "h", list(depths),
+        {
+            f"C={c} overhead": [
+                round(t.overhead_per_reconstruction)
+                for t in sweep.for_degree(c)
+            ]
+            for c in degrees
+        },
+        title="Overhead traffic per optimization round vs depth (Figure 12)",
+    ))
+
+    for degree in degrees:
+        series = rate_vs_depth(sweep, degree, REPRO_R_VALUES)
+        print()
+        print(format_series(
+            "h", list(depths),
+            {f"R={r:g}": [round(rate, 3) for _h, rate in series[r]]
+             for r in REPRO_R_VALUES},
+            title=f"Optimization rate vs depth at C={degree} (Figures 13/14)",
+        ))
+
+    minima = minimal_depths_table(sweep, REPRO_R_VALUES)
+    print()
+    print(format_table(
+        ["R", *(f"C={c} minimal h" for c in degrees)],
+        [[f"{r:g}", *(minima[c][r] for c in degrees)] for r in REPRO_R_VALUES],
+        title="Minimal closure depth with optimization rate > 1 "
+              "(paper: none at R=1; smaller h for denser overlays)",
+    ))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 96)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""A KaZaA-like two-tier system with ACE on the supernode backbone.
+
+The paper's opening sentence covers both unstructured deployments: queries
+are flooded "among peers (such as in Gnutella) or among supernodes (such as
+in KaZaA)".  This example elects the highest-capacity quarter of peers as
+supernodes, attaches the rest as leaves, and compares three systems on the
+same population:
+
+* flat Gnutella-like flooding over every peer,
+* the two-tier system (flooding only among supernodes, leaves indexed), and
+* the two-tier system with ACE optimizing the supernode backbone.
+
+All three search the full population; the traffic differs.
+
+Run:  python examples/supernode_kazaa.py [peers]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import AceProtocol, barabasi_albert, build_two_tier, two_tier_query
+from repro.experiments.reporting import format_table
+from repro.search.flooding import blind_flooding_strategy, propagate
+from repro.search.tree_routing import ace_strategy
+from repro.topology.overlay import small_world_overlay
+
+STEPS = 6
+
+
+def main(peers: int = 160) -> None:
+    rng = np.random.default_rng(29)
+    physical = barabasi_albert(max(8 * peers, 500), m=2, rng=rng)
+
+    print(f"Population: {peers} peers on a {physical.num_nodes}-node underlay")
+
+    flat = small_world_overlay(physical, peers, avg_degree=8, rng=rng)
+    flat_sources = flat.peers()[:10]
+    flat_traffic = sum(
+        propagate(flat, s, blind_flooding_strategy(flat), ttl=None).traffic_cost
+        for s in flat_sources
+    ) / len(flat_sources)
+
+    print("Electing supernodes by capacity (top 25%)...")
+    tt = build_two_tier(physical, peers, supernode_fraction=0.25, rng=rng)
+    print(f"  {tt.num_supernodes} supernodes, {tt.num_leaves} leaves, "
+          f"backbone degree {tt.backbone.average_degree():.2f}")
+
+    leaves = sorted(tt.leaf_parent)[:10]
+    super_traffic = sum(
+        two_tier_query(tt, s, holders=[]).traffic_cost for s in leaves
+    ) / len(leaves)
+
+    print(f"Running ACE on the backbone for {STEPS} steps...")
+    protocol = AceProtocol(tt.backbone, rng=rng)
+    protocol.run(STEPS)
+    strategy = ace_strategy(protocol)
+    ace_traffic = sum(
+        two_tier_query(tt, s, holders=[], strategy=strategy).traffic_cost
+        for s in leaves
+    ) / len(leaves)
+    sample = two_tier_query(tt, leaves[0], holders=[], strategy=strategy)
+
+    print()
+    print(format_table(
+        ["system", "traffic/query", "vs flat"],
+        [
+            ["flat Gnutella-like flooding", round(flat_traffic), "-"],
+            ["two-tier (KaZaA-like)", round(super_traffic),
+             f"-{100 * (1 - super_traffic / flat_traffic):.1f}%"],
+            ["two-tier + ACE backbone", round(ace_traffic),
+             f"-{100 * (1 - ace_traffic / flat_traffic):.1f}%"],
+        ],
+        title="Full-coverage query traffic:",
+    ))
+    print()
+    print(f"Search scope in all systems: {sample.search_scope}/{peers} peers")
+    print("The supernode tier alone saves a lot (the flooding graph is 4x")
+    print("smaller); ACE then repairs the backbone's physical mismatch for a")
+    print("further cut — the two mechanisms compose.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 160)

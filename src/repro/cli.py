@@ -1,0 +1,290 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands
+-----------
+
+``static``
+    Figures 7-8: ACE convergence on a static overlay.
+``dynamic``
+    Figures 9-10: Gnutella-like vs. ACE (vs. ACE + cache) under churn.
+``depth``
+    Figures 11-16: closure-depth sweep with optimization rates.
+``walkthrough``
+    Tables 1-2: the six-peer worked example.
+``topology``
+    Section 4.1: generate and validate a topology pair.
+
+Every run is reproducible from ``--seed``.  Examples::
+
+    python -m repro static --peers 128 --degree 8 --steps 10
+    python -m repro dynamic --peers 120 --queries 600 --cache
+    python -m repro depth --degrees 4 10 --depths 1 2 3
+    python -m repro walkthrough --depth 2
+    python -m repro topology --peers 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Distributed Approach to Solving Overlay "
+            "Mismatching Problem' (ICDCS 2004)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_world_args(p, peers=128, degree=6.0):
+        p.add_argument("--peers", type=int, default=peers,
+                       help="number of overlay peers")
+        p.add_argument("--physical-nodes", type=int, default=None,
+                       help="underlay size (default: 8x peers)")
+        p.add_argument("--degree", type=float, default=degree,
+                       help="average logical degree")
+        p.add_argument("--seed", type=int, default=1, help="RNG seed")
+        p.add_argument("--json", dest="json_path", default=None,
+                       help="also write the result object to this JSON file")
+
+    p_static = sub.add_parser("static", help="Figures 7-8 (static convergence)")
+    add_world_args(p_static)
+    p_static.add_argument("--steps", type=int, default=10,
+                          help="ACE optimization steps")
+    p_static.add_argument("--depth", type=int, default=1,
+                          help="h-neighbor closure depth")
+    p_static.add_argument("--samples", type=int, default=16,
+                          help="query samples per measurement")
+
+    p_dyn = sub.add_parser("dynamic", help="Figures 9-10 (churning system)")
+    add_world_args(p_dyn, degree=8.0)
+    p_dyn.add_argument("--queries", type=int, default=600,
+                       help="total queries to simulate")
+    p_dyn.add_argument("--windows", type=int, default=6,
+                       help="number of reporting windows")
+    p_dyn.add_argument("--no-ace", action="store_true",
+                       help="run the Gnutella-like arm only")
+    p_dyn.add_argument("--cache", action="store_true",
+                       help="also run the ACE + index cache arm")
+
+    p_depth = sub.add_parser("depth", help="Figures 11-16 (depth sweep)")
+    add_world_args(p_depth, peers=96)
+    p_depth.add_argument("--degrees", type=int, nargs="+", default=[4, 10],
+                         help="average-degree values to sweep")
+    p_depth.add_argument("--depths", type=int, nargs="+", default=[1, 2, 3],
+                         help="closure depths to sweep")
+    p_depth.add_argument("--steps", type=int, default=6,
+                         help="convergence steps per configuration")
+
+    p_walk = sub.add_parser("walkthrough", help="Tables 1-2 (worked example)")
+    p_walk.add_argument("--depth", type=int, default=None,
+                        help="closure depth (omit for blind flooding)")
+    p_walk.add_argument("--source", default="F", help="query source peer")
+
+    p_topo = sub.add_parser("topology", help="Section 4.1 validation")
+    add_world_args(p_topo, peers=200)
+    p_topo.add_argument("--underlay", default="ba",
+                        choices=["ba", "waxman", "glp", "ws"])
+    p_topo.add_argument("--overlay", dest="overlay_kind", default="small_world",
+                        choices=["random", "power_law", "small_world"])
+    return parser
+
+
+def _scenario_config(args, overrides=None):
+    from .experiments.setup import ScenarioConfig
+
+    physical = args.physical_nodes or max(8 * args.peers, 400)
+    kwargs = dict(
+        physical_nodes=physical,
+        peers=args.peers,
+        avg_degree=args.degree,
+        seed=args.seed,
+    )
+    kwargs.update(overrides or {})
+    return ScenarioConfig(**kwargs)
+
+
+def _cmd_static(args, out) -> int:
+    from .core.ace import AceConfig
+    from .experiments.reporting import format_series
+    from .experiments.setup import build_scenario
+    from .experiments.static_env import run_static_experiment
+
+    scenario = build_scenario(_scenario_config(args))
+    series = run_static_experiment(
+        scenario,
+        steps=args.steps,
+        ace_config=AceConfig(depth=args.depth),
+        query_samples=args.samples,
+    )
+    print(format_series(
+        "step", series.steps,
+        {
+            "traffic/query": [round(t) for t in series.traffic_per_query],
+            "response": [round(t) for t in series.response_time],
+            "scope": series.search_scope,
+        },
+        title=f"Static convergence (peers={args.peers}, C={args.degree:g}, "
+              f"h={args.depth})",
+    ), file=out)
+    print(f"traffic reduction: {series.traffic_reduction_percent:.1f}%  "
+          f"response reduction: {series.response_reduction_percent:.1f}%",
+          file=out)
+    if args.json_path:
+        from .experiments.results_io import save_result
+
+        save_result(series, args.json_path,
+                    metadata={"command": "static", "seed": args.seed})
+        print(f"wrote {args.json_path}", file=out)
+    return 0
+
+
+def _cmd_dynamic(args, out) -> int:
+    from .experiments.dynamic_env import DynamicConfig, run_dynamic_experiment
+    from .experiments.reporting import format_series
+    from .experiments.setup import build_scenario
+
+    window = max(1, args.queries // args.windows)
+    total = window * args.windows
+    arms = [("gnutella", dict(enable_ace=False))]
+    if not args.no_ace:
+        arms.append(("ace", dict(enable_ace=True)))
+        if args.cache:
+            arms.append(("ace+cache", dict(enable_ace=True, enable_cache=True)))
+    results = {}
+    for name, kwargs in arms:
+        scenario = build_scenario(_scenario_config(args))
+        results[name] = run_dynamic_experiment(
+            scenario, DynamicConfig(total_queries=total, window=window, **kwargs)
+        )
+    x = list(range(1, args.windows + 1))
+    print(format_series(
+        f"queries (x{window})", x,
+        {n: [round(p) for p in s.traffic_points] for n, s in results.items()},
+        title="Avg traffic cost per query (ACE overhead included)",
+    ), file=out)
+    print(file=out)
+    print(format_series(
+        f"queries (x{window})", x,
+        {n: [round(p) for p in s.response_points] for n, s in results.items()},
+        title="Avg response time per query",
+    ), file=out)
+    if args.json_path:
+        from .experiments.results_io import save_result
+
+        primary = results.get("ace", results["gnutella"])
+        save_result(primary, args.json_path,
+                    metadata={"command": "dynamic", "seed": args.seed})
+        print(f"wrote {args.json_path}", file=out)
+    return 0
+
+
+def _cmd_depth(args, out) -> int:
+    from .experiments.depth_sweep import DepthSweepConfig, run_depth_sweep
+    from .experiments.opt_rate import REPRO_R_VALUES, minimal_depths_table
+    from .experiments.reporting import format_series, format_table
+
+    sweep = run_depth_sweep(DepthSweepConfig(
+        degrees=tuple(args.degrees),
+        depths=tuple(args.depths),
+        convergence_steps=args.steps,
+        query_samples=12,
+        base=_scenario_config(args),
+    ))
+    print(format_series(
+        "h", list(args.depths),
+        {
+            f"C={c} reduction %": [
+                round(t.reduction_percent, 1) for t in sweep.for_degree(c)
+            ]
+            for c in args.degrees
+        },
+        title="Query traffic reduction (Figure 11)",
+    ), file=out)
+    print(file=out)
+    print(format_series(
+        "h", list(args.depths),
+        {
+            f"C={c} overhead": [
+                round(t.overhead_per_reconstruction)
+                for t in sweep.for_degree(c)
+            ]
+            for c in args.degrees
+        },
+        title="Overhead per optimization round (Figure 12)",
+    ), file=out)
+    minima = minimal_depths_table(sweep, REPRO_R_VALUES)
+    print(file=out)
+    print(format_table(
+        ["R", *(f"C={c} min h" for c in args.degrees)],
+        [[f"{r:g}", *(minima[c][r] for c in args.degrees)]
+         for r in REPRO_R_VALUES],
+        title="Minimal depth with optimization rate > 1 (Figures 13-16)",
+    ), file=out)
+    if args.json_path:
+        from .experiments.results_io import save_result
+
+        save_result(sweep, args.json_path,
+                    metadata={"command": "depth", "seed": args.seed})
+        print(f"wrote {args.json_path}", file=out)
+    return 0
+
+
+def _cmd_walkthrough(args, out) -> int:
+    from .experiments.paper_example import run_walkthrough
+    from .experiments.reporting import format_table
+
+    walk = run_walkthrough(args.depth, source=args.source)
+    print(format_table(
+        ["from", "to", "cost"], walk.rows(),
+        title=f"{walk.scheme} from {walk.source}",
+    ), file=out)
+    print(f"total cost: {walk.total_cost:.0f}  messages: {walk.messages}  "
+          f"duplicates: {walk.duplicate_messages}  "
+          f"reached: {len(walk.reached)}", file=out)
+    return 0
+
+
+def _cmd_topology(args, out) -> int:
+    from .experiments.setup import build_scenario
+    from .topology.properties import analyze
+
+    config = _scenario_config(
+        args, overrides=dict(underlay=args.underlay,
+                             overlay_kind=args.overlay_kind)
+    )
+    scenario = build_scenario(config)
+    print(f"underlay ({args.underlay}): "
+          f"{analyze(scenario.physical, samples=48).summary()}", file=out)
+    print(f"overlay ({args.overlay_kind}): "
+          f"{analyze(scenario.overlay, samples=96).summary()}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "static": _cmd_static,
+    "dynamic": _cmd_dynamic,
+    "depth": _cmd_depth,
+    "walkthrough": _cmd_walkthrough,
+    "topology": _cmd_topology,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,396 @@
+"""ACE — Adaptive Connection Establishment (the paper's core contribution).
+
+:class:`AceProtocol` drives the three phases at every peer:
+
+* **Phase 1** (:mod:`repro.core.cost_table`): probe direct-neighbor costs and
+  exchange neighbor cost tables across the h-neighbor closure.
+* **Phase 2** (:mod:`repro.core.spanning_tree`): build a minimum spanning
+  tree over the closure's known subgraph; the source's tree-adjacent peers
+  become its *flooding neighbors*, every other direct neighbor becomes
+  *non-flooding* (kept connected, tables still exchanged, candidate for
+  replacement).
+* **Phase 3** (:mod:`repro.core.replacement`): probe candidates from
+  non-flooding neighbors' neighbor lists and adaptively establish/cut
+  connections per Figure 4.
+
+The protocol is fully distributed in the paper; here one ``step()`` executes
+one optimization round at every live peer, in random order, with all
+overhead (probes and table exchanges) accounted in cost units so that the
+optimization-rate experiments (Figures 11-16) can weigh gain against penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..topology.overlay import Overlay
+from .closure import ClosureView, neighbor_closure
+from .cost_table import Phase1Report, run_phase1
+from .policies import CandidatePolicy, make_policy
+from .replacement import ReplacementAction, attempt_replacement
+from .spanning_tree import SpanningTree, prim_mst_heap
+
+__all__ = ["AceConfig", "PeerAceState", "StepReport", "AceProtocol"]
+
+
+@dataclass(frozen=True)
+class AceConfig:
+    """Tunable parameters of the ACE protocol.
+
+    Attributes
+    ----------
+    depth:
+        The *h* of the h-neighbor closure (paper Section 3.4).  ``1`` is the
+        base protocol; larger values trade overhead for optimization rate.
+    policy:
+        Phase-3 candidate policy: ``"random"`` (the paper's evaluated
+        choice), ``"closest"``, ``"naive"``, or a
+        :class:`~repro.core.policies.CandidatePolicy` instance.
+    max_probes_per_target:
+        Probe budget per non-flooding neighbor per step.
+    max_targets_per_step:
+        How many non-flooding neighbors a peer tries to replace per step
+        (``None`` = all).
+    max_degree:
+        Cap on logical degree for Figure 4(c) additions (``None`` = none).
+    min_degree:
+        A peer never cuts a link that would leave the other endpoint below
+        this degree unless the replacement preserves its connectivity.
+    round_trip_factor:
+        Cost multiplier for one probe (ping + pong).
+    entry_cost_factor:
+        Per-table-entry cost factor for cost-table exchange messages.
+    allow_keep_both:
+        Enables the Figure 4(c) branch; ``False`` reproduces the AOTO
+        precursor (swap-only optimization).
+    shed_redundant:
+        Enables the cut that closes the Figure 4(c) story: a peer sheds a
+        non-flooding link that is strictly the longest side of a logical
+        triangle (both endpoints remain connected through the third peer).
+        This is how the C-H link of Figure 4(c) eventually disappears —
+        "node C will try to find another peer to replace H" once H turns
+        non-flooding — keeping the logical degree stable instead of growing
+        with every keep-both addition.
+    max_sheds_per_step:
+        Per-peer cap on redundant-link cuts per optimization step; keeps the
+        topology change gradual (the distributed protocol only re-examines
+        one connection per periodic round).
+    shed_degree_floor:
+        Shedding never drops an endpoint below this logical degree, so it
+        trims only the *excess* connections that keep-both additions create
+        — a Gnutella servent maintains its configured connection count.
+        ``None`` (default) uses the overlay's average degree at protocol
+        construction.
+    """
+
+    depth: int = 1
+    policy: object = "random"
+    max_probes_per_target: int = 1
+    max_targets_per_step: Optional[int] = None
+    max_degree: Optional[int] = None
+    min_degree: int = 2
+    round_trip_factor: float = 2.0
+    entry_cost_factor: float = 0.02
+    allow_keep_both: bool = True
+    shed_redundant: bool = True
+    max_sheds_per_step: int = 1
+    shed_degree_floor: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("depth must be >= 1")
+        if self.max_probes_per_target < 1:
+            raise ValueError("max_probes_per_target must be >= 1")
+
+
+@dataclass(frozen=True)
+class PeerAceState:
+    """Per-peer protocol state after Phases 1-2.
+
+    ``known_neighbors`` records the direct neighbor set at tree-build time so
+    routing can detect staleness: a neighbor gained since then must be
+    flooded to (it is not covered by the tree), and a lost *flooding*
+    neighbor breaks the tree entirely.
+    """
+
+    peer: int
+    tree: SpanningTree
+    flooding: FrozenSet[int]
+    non_flooding: FrozenSet[int]
+    known_neighbors: FrozenSet[int]
+    closure_size: int
+    closure_edges: int
+
+
+@dataclass
+class StepReport:
+    """Aggregate outcome of one optimization step across all peers."""
+
+    step_index: int
+    peers_optimized: int = 0
+    probe_overhead: float = 0.0
+    exchange_overhead: float = 0.0
+    replacement_probe_overhead: float = 0.0
+    replacements: int = 0
+    keep_both_adds: int = 0
+    redundant_sheds: int = 0
+    probes: int = 0
+
+    @property
+    def total_overhead(self) -> float:
+        """All Phase 1-3 traffic of the step, in cost units."""
+        return (
+            self.probe_overhead
+            + self.exchange_overhead
+            + self.replacement_probe_overhead
+        )
+
+
+class AceProtocol:
+    """Run ACE over a (mutable) overlay.
+
+    The protocol object owns per-peer state (trees, flooding sets) and keeps
+    it consistent across overlay mutations and churn via
+    :meth:`handle_peer_joined` / :meth:`handle_peer_left`.
+    """
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        config: Optional[AceConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.overlay = overlay
+        self.config = config or AceConfig()
+        self.rng = rng or np.random.default_rng()
+        self._policy: CandidatePolicy = make_policy(self.config.policy)
+        self._states: Dict[int, PeerAceState] = {}
+        self._steps_run = 0
+        if self.config.shed_degree_floor is not None:
+            self._shed_floor = max(self.config.min_degree, self.config.shed_degree_floor)
+        else:
+            avg = overlay.average_degree() if overlay.num_peers else 0.0
+            self._shed_floor = max(self.config.min_degree, int(round(avg)))
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+
+    @property
+    def policy(self) -> CandidatePolicy:
+        """The Phase-3 candidate policy in use."""
+        return self._policy
+
+    @property
+    def steps_run(self) -> int:
+        """Number of completed optimization steps."""
+        return self._steps_run
+
+    def state_of(self, peer: int) -> Optional[PeerAceState]:
+        """The peer's Phase-2 state, or ``None`` if not yet computed."""
+        return self._states.get(peer)
+
+    def flooding_neighbors(self, peer: int) -> Set[int]:
+        """The neighbors a peer forwards queries to *right now*.
+
+        A peer that has not yet run Phase 2 (e.g. it just joined) floods to
+        all its neighbors — the Gnutella default.  Routing degrades safely
+        against stale state:
+
+        * a *flooding* neighbor that disappeared breaks the tree, so the
+          peer falls back to flooding all live neighbors until its next
+          Phase 2 (in the real protocol the peer notices the dropped TCP
+          connection immediately);
+        * neighbors gained since the tree was built are not covered by it
+          and are flooded to in addition to the tree neighbors.
+        """
+        state = self._states.get(peer)
+        live = set(self.overlay.neighbors(peer))
+        if state is None:
+            return live
+        if not state.flooding <= live:
+            return live
+        new_links = live - state.known_neighbors
+        return set(state.flooding) | new_links
+
+    def non_flooding_neighbors(self, peer: int) -> Set[int]:
+        """Live direct neighbors currently classified as non-flooding."""
+        return set(self.overlay.neighbors(peer)) - self.flooding_neighbors(peer)
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def refresh_peer(self, peer: int) -> Tuple[PeerAceState, Phase1Report]:
+        """Run Phases 1-2 for one peer and store its new state."""
+        closure = neighbor_closure(self.overlay, peer, self.config.depth)
+        phase1 = run_phase1(
+            self.overlay,
+            closure,
+            round_trip_factor=self.config.round_trip_factor,
+            entry_cost_factor=self.config.entry_cost_factor,
+        )
+        state = self._store_state(peer, closure)
+        return state, phase1
+
+    def _store_state(self, peer: int, closure: ClosureView) -> PeerAceState:
+        tree = prim_mst_heap(closure.edges, peer)
+        flooding = frozenset(tree.tree_neighbors(peer))
+        known = frozenset(self.overlay.neighbors(peer))
+        non_flooding = known - flooding
+        state = PeerAceState(
+            peer=peer,
+            tree=tree,
+            flooding=flooding,
+            non_flooding=non_flooding,
+            known_neighbors=known,
+            closure_size=closure.size,
+            closure_edges=closure.num_edges(),
+        )
+        self._states[peer] = state
+        return state
+
+    def recompute_tree(self, peer: int) -> PeerAceState:
+        """Phase 2 only: rebuild the peer's tree without Phase-1 accounting.
+
+        Used by the simulator to bring routing state up to date after other
+        peers mutated the topology; in the real protocol this information
+        arrives through the periodic table exchanges already charged.
+        """
+        closure = neighbor_closure(self.overlay, peer, self.config.depth)
+        return self._store_state(peer, closure)
+
+    def shed_redundant_links(self, peer: int, non_flooding: Sequence[int]) -> int:
+        """Cut non-flooding links that a logical triangle makes redundant.
+
+        A link (peer, H) is shed when some mutual neighbor W makes it
+        strictly the longest side of the triangle peer-W-H: both endpoints
+        keep the W route, so connectivity and search scope are preserved
+        while the most expensive redundant connection disappears (the Figure
+        1 L-M situation, and the eventual fate of C-H in Figure 4(c)).
+        Degree floors are respected on both endpoints.
+        """
+        sheds = 0
+        my_neighbors = self.overlay.neighbors(peer)
+        # Most expensive candidates first: with a per-step cap, the worst
+        # redundant connection goes first.
+        ordered = sorted(
+            non_flooding, key=lambda t: (-self.overlay.cost(peer, t), t)
+        )
+        for target in ordered:
+            if sheds >= self.config.max_sheds_per_step:
+                break
+            if not self.overlay.has_edge(peer, target):
+                continue
+            if (
+                self.overlay.degree(peer) <= self._shed_floor
+                or self.overlay.degree(target) <= self._shed_floor
+            ):
+                continue
+            d_pt = self.overlay.cost(peer, target)
+            mutual = my_neighbors & self.overlay.neighbors(target)
+            for w in mutual:
+                if (
+                    self.overlay.cost(peer, w) < d_pt
+                    and self.overlay.cost(w, target) < d_pt
+                ):
+                    self.overlay.disconnect(peer, target)
+                    sheds += 1
+                    break
+        return sheds
+
+    def optimize_peer(self, peer: int, report: StepReport) -> List[ReplacementAction]:
+        """Run Phases 1-3 for one peer, accumulating into *report*."""
+        state, phase1 = self.refresh_peer(peer)
+        report.peers_optimized += 1
+        report.probe_overhead += phase1.probe_cost
+        report.exchange_overhead += phase1.exchange_cost
+
+        non_flooding = sorted(state.non_flooding)
+        if self.config.shed_redundant:
+            shed = self.shed_redundant_links(peer, non_flooding)
+            report.redundant_sheds += shed
+            if shed:
+                non_flooding = [
+                    t for t in non_flooding if self.overlay.has_edge(peer, t)
+                ]
+
+        targets = self._policy.targets(
+            self.overlay, peer, non_flooding, self.rng
+        )
+        if self.config.max_targets_per_step is not None:
+            targets = targets[: self.config.max_targets_per_step]
+
+        actions: List[ReplacementAction] = []
+        for target in targets:
+            if not self.overlay.has_edge(peer, target):
+                continue  # cut by another peer since Phase 2
+            action = attempt_replacement(
+                self.overlay,
+                peer,
+                target,
+                self._policy,
+                self.rng,
+                max_probes=self.config.max_probes_per_target,
+                round_trip_factor=self.config.round_trip_factor,
+                max_degree=self.config.max_degree,
+                min_degree=self.config.min_degree,
+                allow_keep_both=self.config.allow_keep_both,
+            )
+            actions.append(action)
+            report.probes += action.probes
+            report.replacement_probe_overhead += action.probe_cost
+            if action.kind == "replace":
+                report.replacements += 1
+            elif action.kind == "keep_both":
+                report.keep_both_adds += 1
+        return actions
+
+    def step(self, peers: Optional[Sequence[int]] = None) -> StepReport:
+        """One optimization step: every (given) peer runs Phases 1-3 once.
+
+        Peers execute in random order, mirroring the asynchronous
+        independent execution of the distributed protocol.  Returns the
+        aggregated :class:`StepReport`.
+        """
+        if peers is None:
+            peers = self.overlay.peers()
+        order = list(peers)
+        self.rng.shuffle(order)
+        report = StepReport(step_index=self._steps_run)
+        for peer in order:
+            if not self.overlay.has_peer(peer):
+                continue
+            self.optimize_peer(peer, report)
+        # Re-run Phase 2 everywhere so flooding sets reflect the final
+        # post-step topology (peers whose links were changed later in the
+        # round would otherwise route on stale trees until their next turn).
+        for peer in order:
+            if self.overlay.has_peer(peer):
+                self.recompute_tree(peer)
+        self._steps_run += 1
+        return report
+
+    def run(self, steps: int) -> List[StepReport]:
+        """Run several optimization steps; returns one report per step."""
+        return [self.step() for _ in range(steps)]
+
+    # ------------------------------------------------------------------
+    # Churn hooks
+    # ------------------------------------------------------------------
+
+    def handle_peer_joined(self, peer: int) -> None:
+        """Invalidate state for a (re)joining peer: it floods until Phase 2."""
+        self._states.pop(peer, None)
+
+    def handle_peer_left(self, peer: int) -> None:
+        """Drop protocol state of a departed peer."""
+        self._states.pop(peer, None)
+
+    def rebuild_all_trees(self) -> None:
+        """Recompute Phase 2 at every live peer (no Phase 3 mutations)."""
+        for peer in self.overlay.peers():
+            self.recompute_tree(peer)

@@ -1,0 +1,247 @@
+"""Dynamic-environment experiment: Figures 9 and 10 (and the caching study).
+
+Section 5.2's setting: "peer average lifetime in a P2P system is 10 minutes;
+0.3 queries are issued by each peer per minute; and the frequency for ACE at
+every peer to conduct optimization operations is twice per minute."  Figure 9
+plots the average traffic cost per query — *including* the ACE optimization
+overhead — for a Gnutella-like system versus an ACE-enabled one, over the
+query stream; Figure 10 does the same for response time.
+
+The driver runs a discrete-event simulation: peer departures/arrivals from
+the churn model, Poisson query arrivals from the workload, and periodic ACE
+optimization rounds.  Optionally a per-peer response index cache (Section
+5.2's "ACE with index cache") is enabled on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.ace import AceConfig, AceProtocol
+from ..metrics.accounting import TrafficAccount
+from ..metrics.collector import SeriesCollector
+from ..search.caching import IndexCacheStore, cached_query
+from ..search.flooding import blind_flooding_strategy, run_query
+from ..search.tree_routing import ace_strategy
+from ..sim.churn import ChurnConfig, ChurnModel
+from ..sim.engine import EventLoop
+from ..sim.workload import QueryWorkload
+from .setup import Scenario
+
+__all__ = ["DynamicConfig", "DynamicSeries", "run_dynamic_experiment"]
+
+
+@dataclass(frozen=True)
+class DynamicConfig:
+    """Parameters of one dynamic-environment run."""
+
+    total_queries: int = 2000
+    window: int = 200
+    enable_ace: bool = True
+    optimization_interval: float = 30.0  # "twice per minute"
+    ace: AceConfig = field(default_factory=AceConfig)
+    churn: ChurnConfig = field(default_factory=ChurnConfig)
+    offline_fraction: float = 0.5
+    enable_cache: bool = False
+    cache_capacity: int = 100
+    ttl: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.total_queries < 1:
+            raise ValueError("total_queries must be >= 1")
+        if not 1 <= self.window <= self.total_queries:
+            raise ValueError("window must be in [1, total_queries]")
+        if self.optimization_interval <= 0:
+            raise ValueError("optimization_interval must be positive")
+
+
+@dataclass
+class DynamicSeries:
+    """Windowed per-query averages over a dynamic run."""
+
+    window: int
+    traffic_points: List[float] = field(default_factory=list)
+    response_points: List[float] = field(default_factory=list)
+    success_points: List[float] = field(default_factory=list)
+    scope_points: List[float] = field(default_factory=list)
+    total_queries: int = 0
+    total_overhead: float = 0.0
+    departures: int = 0
+    duration: float = 0.0
+
+    @property
+    def mean_traffic(self) -> float:
+        """Mean of the windowed traffic points."""
+        pts = self.traffic_points
+        return sum(pts) / len(pts) if pts else 0.0
+
+    @property
+    def mean_response(self) -> float:
+        """Mean of the windowed response-time points."""
+        pts = self.response_points
+        return sum(pts) / len(pts) if pts else 0.0
+
+
+def _build_churn(
+    scenario: Scenario, config: DynamicConfig, rng: np.random.Generator
+) -> ChurnModel:
+    overlay = scenario.overlay
+    used_hosts = {overlay.host_of(p) for p in overlay.peers()}
+    pool = [
+        h
+        for h in scenario.physical.largest_component_nodes()
+        if h not in used_hosts
+    ]
+    n_offline = int(config.offline_fraction * overlay.num_peers)
+    n_offline = min(n_offline, len(pool))
+    idx = rng.choice(len(pool), size=n_offline, replace=False) if n_offline else []
+    next_id = max(overlay.peers(), default=-1) + 1
+    offline_hosts = {next_id + i: pool[int(j)] for i, j in enumerate(idx)}
+    return ChurnModel(overlay, offline_hosts, rng, config=config.churn)
+
+
+def run_dynamic_experiment(
+    scenario: Scenario,
+    config: Optional[DynamicConfig] = None,
+) -> DynamicSeries:
+    """Simulate a churning Gnutella-like system, with or without ACE.
+
+    The per-query traffic observation amortizes protocol overhead: the
+    overhead of each optimization round is spread over the queries of the
+    window it lands in (Figure 9 "the traffic cost includes the overhead
+    needed by each ACE operation").
+
+    The scenario's overlay is mutated in place; build a fresh scenario (or
+    copy the overlay) per treatment arm.
+    """
+    config = config or DynamicConfig()
+    rng = np.random.default_rng(scenario.config.seed + 0xD1CE)
+    loop = EventLoop()
+    churn = _build_churn(scenario, config, rng)
+    churn.start_initial_sessions(now=0.0)
+    overlay = scenario.overlay
+    workload = QueryWorkload(scenario.catalog, rng)
+
+    protocol: Optional[AceProtocol] = None
+    if config.enable_ace:
+        protocol = AceProtocol(overlay, config.ace, rng=rng)
+    caches: Optional[IndexCacheStore] = None
+    if config.enable_cache:
+        caches = IndexCacheStore(config.cache_capacity)
+
+    series = DynamicSeries(window=config.window)
+    traffic_collector = SeriesCollector(config.window)
+    response_collector = SeriesCollector(config.window)
+    success_collector = SeriesCollector(config.window)
+    scope_collector = SeriesCollector(config.window)
+    pending_overhead = [0.0]
+    queries_done = [0]
+
+    # ---------------------------------------------------------------- churn
+    def schedule_departure(peer: int) -> None:
+        record = churn.records[peer]
+        if record.departs_at is None:
+            return
+        when = max(record.departs_at, loop.now)
+
+        def depart() -> None:
+            if not overlay.has_peer(peer):
+                return
+            affected = set(overlay.neighbors(peer))
+            if protocol is not None:
+                protocol.handle_peer_left(peer)
+            if caches is not None:
+                caches.drop_peer(peer)
+                caches.invalidate_holder(peer)
+            replacement = churn.depart(peer, loop.now)
+            if protocol is not None:
+                protocol.handle_peer_joined(replacement)
+            churn.repair_isolated()
+            if protocol is not None:
+                # A servent reacts to connection changes immediately.  The
+                # joiner runs a full Phase 1 (its new links must be probed —
+                # overhead charged); the ex-neighbors and new neighbors
+                # merely rebuild their trees from cost information they
+                # already hold, which costs CPU, not traffic.
+                _state, phase1 = protocol.refresh_peer(replacement)
+                pending_overhead[0] += phase1.total_overhead
+                series.total_overhead += phase1.total_overhead
+                affected |= set(overlay.neighbors(replacement))
+                affected.discard(replacement)
+                for p in affected:
+                    if overlay.has_peer(p):
+                        protocol.recompute_tree(p)
+            series.departures += 1
+            schedule_departure(replacement)
+
+        loop.schedule_at(when, depart)
+
+    for p in list(overlay.peers()):
+        schedule_departure(p)
+
+    # ----------------------------------------------------------- optimization
+    if protocol is not None:
+
+        def optimize() -> None:
+            report = protocol.step()
+            pending_overhead[0] += report.total_overhead
+            series.total_overhead += report.total_overhead
+            if queries_done[0] < config.total_queries:
+                loop.schedule_in(config.optimization_interval, optimize)
+
+        loop.schedule_in(config.optimization_interval, optimize)
+
+    # ---------------------------------------------------------------- queries
+    strategy = (
+        ace_strategy(protocol) if protocol is not None
+        else blind_flooding_strategy(overlay)
+    )
+
+    def issue_query() -> None:
+        if queries_done[0] >= config.total_queries:
+            return
+        online = overlay.peers()
+        if len(online) >= 2:
+            event = workload.next_query(loop.now, online)
+            holders = scenario.catalog.holders_of(event.object_id)
+            if caches is not None:
+                result = cached_query(
+                    overlay, event.source, event.object_id, holders,
+                    strategy, caches, ttl=config.ttl,
+                )
+            else:
+                result = run_query(
+                    overlay, event.source, strategy, holders, ttl=config.ttl
+                )
+            # Amortize accumulated optimization overhead over this query.
+            observed = result.traffic_cost + pending_overhead[0]
+            pending_overhead[0] = 0.0
+            traffic_collector.add(observed)
+            scope_collector.add(float(result.search_scope))
+            success_collector.add(1.0 if result.success else 0.0)
+            if result.first_response_time is not None:
+                response_collector.add(result.first_response_time)
+            queries_done[0] += 1
+        if queries_done[0] < config.total_queries:
+            loop.schedule_in(workload.next_interarrival(max(1, len(online))), issue_query)
+
+    loop.schedule_in(workload.next_interarrival(max(1, overlay.num_peers)), issue_query)
+
+    # Run until the query budget is exhausted (drain events as they come).
+    while queries_done[0] < config.total_queries and loop.step():
+        pass
+
+    series.total_queries = queries_done[0]
+    series.duration = loop.now
+    traffic_collector.flush()
+    response_collector.flush()
+    success_collector.flush()
+    scope_collector.flush()
+    series.traffic_points = traffic_collector.points
+    series.response_points = response_collector.points
+    series.success_points = success_collector.points
+    series.scope_points = scope_collector.points
+    return series

@@ -1,0 +1,143 @@
+"""Common experiment scaffolding: scenario construction from a seeded config.
+
+Every experiment in Section 5 starts from the same ingredients — a physical
+topology, a logical overlay of a given average degree on top of it, a query
+workload — differing only in parameters.  :func:`build_scenario` constructs
+all of it reproducibly from one seed, and :class:`ScenarioConfig.scaled`
+honors the ``REPRO_SCALE`` environment knob so the benchmark harness can run
+laptop-sized by default and paper-sized on demand.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.workload import ObjectCatalog, QueryWorkload, WorkloadConfig
+from ..topology import generators
+from ..topology.overlay import (
+    Overlay,
+    power_law_overlay,
+    random_overlay,
+    small_world_overlay,
+)
+from ..topology.physical import PhysicalTopology
+
+__all__ = ["ScenarioConfig", "Scenario", "build_scenario", "repro_scale"]
+
+_UNDERLAY_CACHE = 512  # single-source Dijkstra results kept per underlay
+
+_UNDERLAYS = {
+    "ba": lambda n, rng: generators.barabasi_albert(
+        n, m=2, rng=rng, cache_size=_UNDERLAY_CACHE
+    ),
+    "waxman": lambda n, rng: generators.waxman(n, rng=rng, cache_size=_UNDERLAY_CACHE),
+    "glp": lambda n, rng: generators.glp(n, rng=rng, cache_size=_UNDERLAY_CACHE),
+    "ws": lambda n, rng: generators.watts_strogatz(
+        n, rng=rng, cache_size=_UNDERLAY_CACHE
+    ),
+}
+
+_OVERLAYS = {
+    "random": random_overlay,
+    "power_law": power_law_overlay,
+    "small_world": small_world_overlay,
+}
+
+
+def repro_scale(default: float = 1.0) -> float:
+    """The ``REPRO_SCALE`` multiplier (>= 1 grows toward paper scale)."""
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SCALE must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError("REPRO_SCALE must be positive")
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Reproducible description of one simulated world.
+
+    The paper's full configuration is ``physical_nodes=20000`` and
+    ``peers=8000``; defaults here are laptop-sized with the same shape.
+    """
+
+    physical_nodes: int = 2000
+    peers: int = 256
+    avg_degree: float = 6.0
+    underlay: str = "ba"
+    overlay_kind: str = "small_world"
+    seed: int = 0
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+
+    def scaled(self, factor: Optional[float] = None) -> "ScenarioConfig":
+        """Scale node counts by *factor* (default: the REPRO_SCALE env)."""
+        f = repro_scale() if factor is None else factor
+        return replace(
+            self,
+            physical_nodes=max(64, int(self.physical_nodes * f)),
+            peers=max(16, int(self.peers * f)),
+        )
+
+
+@dataclass
+class Scenario:
+    """A constructed world: underlay, overlay, workload, and RNG streams."""
+
+    config: ScenarioConfig
+    physical: PhysicalTopology
+    overlay: Overlay
+    catalog: ObjectCatalog
+    rng: np.random.Generator
+
+    def fresh_overlay(self) -> Overlay:
+        """Deep copy of the initial overlay for an independent treatment arm."""
+        return self.overlay.copy()
+
+    def sample_sources(self, n: int) -> List[int]:
+        """Draw *n* query sources (with replacement) from live peers."""
+        peers = self.overlay.peers()
+        idx = self.rng.integers(0, len(peers), size=n)
+        return [peers[int(i)] for i in idx]
+
+
+def build_scenario(config: ScenarioConfig) -> Scenario:
+    """Construct a scenario deterministically from its config.
+
+    Independent RNG streams (via ``numpy`` seed sequences) are used for the
+    underlay, overlay, workload and runtime randomness, so changing e.g. the
+    overlay degree does not perturb the underlay.
+    """
+    if config.underlay not in _UNDERLAYS:
+        raise ValueError(
+            f"unknown underlay {config.underlay!r}; choose from {sorted(_UNDERLAYS)}"
+        )
+    if config.overlay_kind not in _OVERLAYS:
+        raise ValueError(
+            f"unknown overlay kind {config.overlay_kind!r}; "
+            f"choose from {sorted(_OVERLAYS)}"
+        )
+    seeds = np.random.SeedSequence(config.seed).spawn(4)
+    underlay_rng, overlay_rng, workload_rng, run_rng = (
+        np.random.default_rng(s) for s in seeds
+    )
+    physical = _UNDERLAYS[config.underlay](config.physical_nodes, underlay_rng)
+    overlay = _OVERLAYS[config.overlay_kind](
+        physical, config.peers, avg_degree=config.avg_degree, rng=overlay_rng
+    )
+    catalog = ObjectCatalog(overlay.peers(), config.workload, workload_rng)
+    return Scenario(
+        config=config,
+        physical=physical,
+        overlay=overlay,
+        catalog=catalog,
+        rng=run_rng,
+    )

@@ -1,0 +1,33 @@
+"""Comparison schemes and extensions from the paper's related work.
+
+* :mod:`~repro.extensions.aoto` — the AOTO precursor of ACE ([8]).
+* :mod:`~repro.extensions.ltm` — simplified Location-aware Topology
+  Matching ([9]), a triangle-cutting comparator.
+* :mod:`~repro.extensions.hpf` — Hybrid Periodical Flooding ([23]),
+  weighted partial flooding.
+* :mod:`~repro.extensions.gia` — Gia capacity-aware adaptation ([4]),
+  which fixes a *different* matching problem.
+* :mod:`~repro.extensions.landmark` — landmark-vector topology matching
+  ([21]), including the mapping-inaccuracy measurement the paper's
+  criticism rests on.
+"""
+
+from .aoto import AotoProtocol, aoto_config
+from .gia import GiaAdaptation, GiaReport, assign_capacities
+from .hpf import HPF_WEIGHTINGS, hpf_strategy
+from .landmark import LandmarkMatcher, LandmarkReport
+from .ltm import LtmProtocol, LtmReport
+
+__all__ = [
+    "AotoProtocol",
+    "aoto_config",
+    "LtmProtocol",
+    "LtmReport",
+    "hpf_strategy",
+    "HPF_WEIGHTINGS",
+    "LandmarkMatcher",
+    "LandmarkReport",
+    "GiaAdaptation",
+    "GiaReport",
+    "assign_capacities",
+]

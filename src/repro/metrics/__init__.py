@@ -1,0 +1,26 @@
+"""Performance metrics (paper Section 4.2).
+
+Traffic cost, search scope and response time come straight out of
+:class:`~repro.search.flooding.QueryResult`; this package adds the
+bookkeeping around them: traffic accounting, optimization-rate analysis and
+windowed series collection for the dynamic experiments.
+"""
+
+from .accounting import TrafficAccount, reduction_rate
+from .collector import SeriesCollector, Summary, summarize
+from .optimization import (
+    OptimizationTradeoff,
+    minimal_depth_for_gain,
+    optimization_rate,
+)
+
+__all__ = [
+    "TrafficAccount",
+    "reduction_rate",
+    "SeriesCollector",
+    "Summary",
+    "summarize",
+    "OptimizationTradeoff",
+    "optimization_rate",
+    "minimal_depth_for_gain",
+]

@@ -1,0 +1,194 @@
+"""Query propagation: blind flooding and the generic forwarding engine.
+
+The paper's baseline (Section 3.1) is Gnutella's "blind flooding": a query is
+broadcast and rebroadcast; a peer forwards the query to all logical neighbors
+except the one it came from, and drops copies it has already seen.  Every
+transmission — including one into a peer that drops it as a duplicate —
+consumes the underlay resources of that logical hop, which is exactly the
+redundant traffic the paper sets out to remove.
+
+:func:`propagate` is the shared engine: it takes a *forwarding strategy*
+(blind flooding, ACE tree routing, a cache-aware wrapper, ...) and simulates
+the query's spread in arrival-time order, charging
+
+* ``traffic_cost`` — Σ over transmissions of the logical hop cost (the
+  underlay shortest-path delay, the unit of the paper's Tables 1-2), and
+* per-peer ``arrival_time`` — earliest delivery time along overlay paths,
+
+so that search scope, traffic cost and response time (Section 4.2's metrics)
+all fall out of one simulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..topology.overlay import Overlay
+
+__all__ = [
+    "ForwardingStrategy",
+    "QueryPropagation",
+    "QueryResult",
+    "propagate",
+    "blind_flooding_strategy",
+    "run_query",
+    "GNUTELLA_TTL",
+]
+
+#: Default Gnutella time-to-live for queries.
+GNUTELLA_TTL = 7
+
+# A strategy maps (peer, came_from) -> neighbors to forward to.  ``came_from``
+# is None at the query source.  The engine never forwards back to
+# ``came_from`` regardless of what the strategy returns.
+ForwardingStrategy = Callable[[int, Optional[int]], Iterable[int]]
+
+
+@dataclass
+class QueryPropagation:
+    """Full record of one query's spread through the overlay."""
+
+    source: int
+    arrival_time: Dict[int, float] = field(default_factory=dict)
+    parent: Dict[int, int] = field(default_factory=dict)
+    hops: Dict[int, int] = field(default_factory=dict)
+    traffic_cost: float = 0.0
+    messages: int = 0
+    duplicate_messages: int = 0
+
+    @property
+    def reached(self) -> Set[int]:
+        """All peers the query visited (the *search scope*)."""
+        return set(self.arrival_time)
+
+    @property
+    def search_scope(self) -> int:
+        """Number of peers reached, the paper's search-scope metric."""
+        return len(self.arrival_time)
+
+    def path_to(self, peer: int) -> List[int]:
+        """The delivery path source -> peer taken by the first copy."""
+        if peer not in self.arrival_time:
+            raise KeyError(f"peer {peer} was not reached")
+        out = [peer]
+        while out[-1] != self.source:
+            out.append(self.parent[out[-1]])
+        out.reverse()
+        return out
+
+
+def propagate(
+    overlay: Overlay,
+    source: int,
+    strategy: ForwardingStrategy,
+    ttl: Optional[int] = GNUTELLA_TTL,
+    stop_at: Optional[Callable[[int], bool]] = None,
+) -> QueryPropagation:
+    """Simulate one query spreading from *source*.
+
+    Parameters
+    ----------
+    strategy:
+        Which neighbors each peer forwards to (see module docstring).
+    ttl:
+        Maximum number of overlay hops; ``None`` means unlimited (used when
+        measuring full-coverage scope, as in the paper's Figure 7 where "the
+        search scope is all peers").
+    stop_at:
+        Optional predicate; a peer for which it returns ``True`` receives
+        the query but does not forward it (used by the index-caching
+        extension, where a cache hit answers the query locally).
+    """
+    if not overlay.has_peer(source):
+        raise KeyError(f"peer {source} not in overlay")
+    prop = QueryPropagation(source=source)
+    prop.arrival_time[source] = 0.0
+    prop.hops[source] = 0
+    # Heap entries: (arrival_time, target, sender, hops_used)
+    heap: List[Tuple[float, int, int, int]] = []
+
+    def forward_from(peer: int, came_from: Optional[int], t: float, hops: int) -> None:
+        if ttl is not None and hops >= ttl:
+            return
+        if stop_at is not None and peer != source and stop_at(peer):
+            return
+        live = overlay.neighbors(peer)
+        for nbr in strategy(peer, came_from):
+            if nbr == came_from or nbr == peer or nbr not in live:
+                continue
+            cost = overlay.cost(peer, nbr)
+            prop.traffic_cost += cost
+            prop.messages += 1
+            heapq.heappush(heap, (t + cost, nbr, peer, hops + 1))
+
+    forward_from(source, None, 0.0, 0)
+    while heap:
+        t, peer, sender, hops = heapq.heappop(heap)
+        if peer in prop.arrival_time:
+            prop.duplicate_messages += 1
+            continue
+        prop.arrival_time[peer] = t
+        prop.parent[peer] = sender
+        prop.hops[peer] = hops
+        forward_from(peer, sender, t, hops)
+    return prop
+
+
+def blind_flooding_strategy(overlay: Overlay) -> ForwardingStrategy:
+    """The Gnutella baseline: forward to every neighbor except the sender."""
+
+    def strategy(peer: int, came_from: Optional[int]) -> Iterable[int]:
+        return overlay.neighbors(peer)
+
+    return strategy
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Search-quality view of a propagation against a set of object holders.
+
+    Response time follows the paper's definition: "the time period from when
+    the query is issued until when the source peer received a response result
+    from the first responder" — the response travels back along the inverse
+    of the query path, so a holder reached at time *t* responds at ``2 t``.
+    """
+
+    propagation: QueryPropagation
+    holders_reached: Tuple[int, ...]
+    first_response_time: Optional[float]
+
+    @property
+    def success(self) -> bool:
+        """Whether any object holder was reached."""
+        return self.first_response_time is not None
+
+    @property
+    def traffic_cost(self) -> float:
+        """Total query traffic in cost units."""
+        return self.propagation.traffic_cost
+
+    @property
+    def search_scope(self) -> int:
+        """Number of peers reached."""
+        return self.propagation.search_scope
+
+
+def run_query(
+    overlay: Overlay,
+    source: int,
+    strategy: ForwardingStrategy,
+    holders: Iterable[int],
+    ttl: Optional[int] = GNUTELLA_TTL,
+    stop_at: Optional[Callable[[int], bool]] = None,
+) -> QueryResult:
+    """Propagate a query and evaluate it against the object's holders."""
+    prop = propagate(overlay, source, strategy, ttl=ttl, stop_at=stop_at)
+    reached = [h for h in holders if h in prop.arrival_time and h != source]
+    first = min((2.0 * prop.arrival_time[h] for h in reached), default=None)
+    return QueryResult(
+        propagation=prop,
+        holders_reached=tuple(sorted(reached)),
+        first_response_time=first,
+    )

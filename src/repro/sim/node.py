@@ -1,0 +1,192 @@
+"""Message-level Gnutella peers: query flooding and reverse-path QueryHits.
+
+:class:`QueryNode` implements the servent behaviour of Section 3.1 at the
+descriptor level:
+
+* a Query seen before (same GUID) is dropped — but its transmission was
+  already charged by the network;
+* a fresh Query is recorded, answered with a :class:`QueryHit` if the node
+  holds the object, and forwarded (TTL permitting) to the node's forwarding
+  set — all neighbors for blind flooding, the flooding neighbors for ACE;
+* a QueryHit travels the inverse of the query path, hop by hop, using the
+  per-GUID reverse-routing entry each relay recorded.
+
+:func:`run_message_level_query` wires a whole overlay with nodes, injects
+one query, runs the event loop to quiescence and returns the measured
+metrics — the ground truth the analytic engine is validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..search.flooding import ForwardingStrategy
+from .messages import Message, Query, QueryHit
+from .network import MessageNetwork
+
+__all__ = ["QueryNode", "MessageLevelResult", "run_message_level_query"]
+
+
+class QueryNode:
+    """One servent: floods queries, routes hits back, records telemetry."""
+
+    def __init__(
+        self,
+        peer_id: int,
+        forwarding: ForwardingStrategy,
+        holds: Optional[Set[object]] = None,
+    ) -> None:
+        self.peer_id = peer_id
+        self.forwarding = forwarding
+        self.holds: Set[object] = set(holds or ())
+        # guid -> neighbor the first copy arrived from (reverse route).
+        self.reverse_route: Dict[int, int] = {}
+        self.seen_queries: Set[int] = set()
+        self.first_arrival: Dict[int, float] = {}
+        self.duplicates = 0
+        # For query origins: guid -> list of (time, responder).
+        self.responses: Dict[int, List] = {}
+
+    # ------------------------------------------------------------------
+
+    def start_query(
+        self, network: MessageNetwork, obj: object, ttl: Optional[int]
+    ) -> Query:
+        """Issue a new query from this node.  Returns the sent descriptor."""
+        effective_ttl = ttl if ttl is not None else 2**30
+        query = Query(sender=self.peer_id, ttl=effective_ttl, object_id=obj)
+        self.seen_queries.add(query.guid)
+        self.first_arrival[query.guid] = network.loop.now
+        self.responses[query.guid] = []
+        self._forward(network, query, came_from=None)
+        return query
+
+    def _forward(
+        self, network: MessageNetwork, query: Query, came_from: Optional[int]
+    ) -> None:
+        if query.ttl <= 0:
+            return
+        live = network.overlay.neighbors(self.peer_id)
+        for nbr in self.forwarding(self.peer_id, came_from):
+            if nbr == came_from or nbr == self.peer_id or nbr not in live:
+                continue
+            network.send(self.peer_id, nbr, query.forwarded_by(self.peer_id))
+
+    # ------------------------------------------------------------------
+
+    def on_message(
+        self, network: MessageNetwork, message: Message, sender: int, now: float
+    ) -> None:
+        """Dispatch a delivered descriptor."""
+        if isinstance(message, Query):
+            self._on_query(network, message, sender, now)
+        elif isinstance(message, QueryHit):
+            self._on_query_hit(network, message, sender, now)
+
+    def _on_query(
+        self, network: MessageNetwork, query: Query, sender: int, now: float
+    ) -> None:
+        if query.guid in self.seen_queries:
+            self.duplicates += 1
+            return
+        self.seen_queries.add(query.guid)
+        self.first_arrival[query.guid] = now
+        self.reverse_route[query.guid] = sender
+        if query.object_id in self.holds:
+            hit = QueryHit(
+                sender=self.peer_id,
+                guid=query.guid,
+                ttl=query.hops + 1,
+                object_id=query.object_id,
+                responder=self.peer_id,
+            )
+            network.send(self.peer_id, sender, hit)
+        self._forward(network, query, came_from=sender)
+
+    def _on_query_hit(
+        self, network: MessageNetwork, hit: QueryHit, sender: int, now: float
+    ) -> None:
+        if hit.guid in self.responses:
+            # This node originated the query: record the response.
+            self.responses[hit.guid].append((now, hit.responder))
+            return
+        back = self.reverse_route.get(hit.guid)
+        if back is not None:
+            network.send(self.peer_id, back, hit.forwarded_by(self.peer_id))
+        # No reverse route (e.g. the neighbor churned away): the hit dies,
+        # as it does in the real protocol.
+
+
+@dataclass(frozen=True)
+class MessageLevelResult:
+    """Measured outcome of one message-level query."""
+
+    source: int
+    guid: int
+    reached: Set[int]
+    arrival_time: Dict[int, float]
+    query_messages: int
+    query_traffic: float
+    hit_messages: int
+    hit_traffic: float
+    duplicates: int
+    first_response_time: Optional[float]
+    responders: Set[int]
+
+    @property
+    def search_scope(self) -> int:
+        """Number of peers the query visited."""
+        return len(self.reached)
+
+
+def run_message_level_query(
+    overlay,
+    source: int,
+    strategy: ForwardingStrategy,
+    holders: Iterable[int] = (),
+    obj: object = "object",
+    ttl: Optional[int] = None,
+) -> MessageLevelResult:
+    """Simulate one query at full message granularity.
+
+    Builds a :class:`QueryNode` per live peer (holders advertise *obj*),
+    injects the query at *source* and runs the event loop until every
+    descriptor has been delivered.
+    """
+    network = MessageNetwork(overlay)
+    holder_set = set(holders)
+    nodes: Dict[int, QueryNode] = {}
+    for peer in overlay.peers():
+        node = QueryNode(
+            peer,
+            strategy,
+            holds={obj} if peer in holder_set and peer != source else None,
+        )
+        nodes[peer] = node
+        network.attach(peer, node)
+
+    query = nodes[source].start_query(network, obj, ttl)
+    network.run()
+
+    guid = query.guid
+    arrival = {
+        p: n.first_arrival[guid]
+        for p, n in nodes.items()
+        if guid in n.first_arrival
+    }
+    responses = nodes[source].responses.get(guid, [])
+    first = min((t for t, _r in responses), default=None)
+    return MessageLevelResult(
+        source=source,
+        guid=guid,
+        reached=set(arrival),
+        arrival_time=arrival,
+        query_messages=network.stats.by_kind.get("query", 0),
+        query_traffic=network.stats.cost_by_kind.get("query", 0.0),
+        hit_messages=network.stats.by_kind.get("query_hit", 0),
+        hit_traffic=network.stats.cost_by_kind.get("query_hit", 0.0),
+        duplicates=sum(n.duplicates for n in nodes.values()),
+        first_response_time=first,
+        responders={r for _t, r in responses},
+    )

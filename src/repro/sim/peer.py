@@ -1,0 +1,70 @@
+"""Peer session state for the dynamic environment.
+
+The paper's joining mechanism (Section 1): a new peer obtains addresses from
+a bootstrapping node and connects to some of them; while connected it learns
+and *caches* addresses of other peers; on a later re-join it first tries the
+cached addresses.  :class:`PeerRecord` keeps that per-peer session state —
+host placement, liveness, the current lifetime, and the address cache that
+drives the characteristic random (mis)matching of overlay links.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+__all__ = ["PeerRecord"]
+
+
+@dataclass
+class PeerRecord:
+    """One peer's identity and session state."""
+
+    peer_id: int
+    host: int
+    alive: bool = False
+    joined_at: Optional[float] = None
+    departs_at: Optional[float] = None
+    sessions: int = 0
+    cache_capacity: int = 32
+    _cache: "OrderedDict[int, None]" = field(default_factory=OrderedDict, repr=False)
+
+    def cached_addresses(self) -> List[int]:
+        """Known peer addresses, most recently learned first."""
+        return list(reversed(self._cache))
+
+    def learn_address(self, peer_id: int) -> None:
+        """Cache another peer's address (LRU eviction at capacity)."""
+        if peer_id == self.peer_id:
+            return
+        if peer_id in self._cache:
+            self._cache.move_to_end(peer_id)
+        else:
+            self._cache[peer_id] = None
+        while len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+
+    def learn_addresses(self, peer_ids: Iterable[int]) -> None:
+        """Cache several addresses."""
+        for pid in peer_ids:
+            self.learn_address(pid)
+
+    def begin_session(self, now: float, lifetime: float) -> None:
+        """Mark the peer online for *lifetime* seconds starting at *now*."""
+        if self.alive:
+            raise RuntimeError(f"peer {self.peer_id} is already online")
+        if lifetime <= 0:
+            raise ValueError("lifetime must be positive")
+        self.alive = True
+        self.joined_at = now
+        self.departs_at = now + lifetime
+        self.sessions += 1
+
+    def end_session(self) -> None:
+        """Mark the peer offline (cached addresses survive, per the paper)."""
+        if not self.alive:
+            raise RuntimeError(f"peer {self.peer_id} is not online")
+        self.alive = False
+        self.joined_at = None
+        self.departs_at = None

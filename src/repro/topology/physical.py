@@ -1,0 +1,280 @@
+"""Physical (underlay) network topology.
+
+The paper simulates Gnutella-like overlays on top of Internet-like physical
+topologies generated with BRITE.  :class:`PhysicalTopology` is our equivalent
+substrate: an undirected weighted graph whose edge weights are link delays
+(Euclidean distances in a BRITE-style coordinate plane, see
+:mod:`repro.topology.generators`).
+
+The quantity every other layer needs from the underlay is the *shortest-path
+delay* between two hosts: the cost of one logical-overlay transmission is the
+underlay shortest-path delay between the two endpoints (paper Section 3.3,
+Tables 1 and 2).  Shortest paths are computed with scipy's sparse Dijkstra and
+cached per source node with a small LRU, which keeps 20,000-node underlays
+tractable on a laptop.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components, dijkstra
+
+__all__ = ["PhysicalTopology"]
+
+
+class PhysicalTopology:
+    """An undirected weighted graph modelling the physical Internet.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of hosts/routers in the underlay.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``0 <= u, v < num_nodes``.
+    delays:
+        Per-edge link delays, aligned with *edges*.  Must be positive.
+    coordinates:
+        Optional ``(num_nodes, 2)`` array of plane coordinates (kept for
+        inspection and for generators that derive delays from geometry).
+    cache_size:
+        Maximum number of single-source Dijkstra results kept in the LRU.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        delays: Iterable[float],
+        coordinates: Optional[np.ndarray] = None,
+        cache_size: int = 128,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        delay_list = [float(d) for d in delays]
+        if len(edge_list) != len(delay_list):
+            raise ValueError("edges and delays must have the same length")
+        for (u, v), d in zip(edge_list, delay_list):
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise ValueError(f"edge ({u}, {v}) out of range for {num_nodes} nodes")
+            if u == v:
+                raise ValueError(f"self-loop at node {u} is not allowed")
+            if d <= 0:
+                raise ValueError(f"link delay must be positive, got {d} on ({u}, {v})")
+
+        self._num_nodes = int(num_nodes)
+        self._edge_delays: Dict[Tuple[int, int], float] = {}
+        adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+        for (u, v), d in zip(edge_list, delay_list):
+            key = (u, v) if u < v else (v, u)
+            if key in self._edge_delays:
+                # Keep the cheaper of duplicate links (multigraphs collapse).
+                self._edge_delays[key] = min(self._edge_delays[key], d)
+                continue
+            self._edge_delays[key] = d
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        self._adjacency: List[Tuple[int, ...]] = [tuple(sorted(a)) for a in adjacency]
+
+        if coordinates is not None:
+            coordinates = np.asarray(coordinates, dtype=float)
+            if coordinates.shape != (num_nodes, 2):
+                raise ValueError(
+                    f"coordinates must have shape ({num_nodes}, 2), got {coordinates.shape}"
+                )
+        self._coordinates = coordinates
+
+        self._matrix = self._build_matrix()
+        self._cache_size = int(cache_size)
+        self._dist_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._pred_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_matrix(self) -> csr_matrix:
+        m = len(self._edge_delays)
+        rows = np.empty(2 * m, dtype=np.int64)
+        cols = np.empty(2 * m, dtype=np.int64)
+        data = np.empty(2 * m, dtype=float)
+        for i, ((u, v), d) in enumerate(self._edge_delays.items()):
+            rows[2 * i], cols[2 * i], data[2 * i] = u, v, d
+            rows[2 * i + 1], cols[2 * i + 1], data[2 * i + 1] = v, u, d
+        return csr_matrix((data, (rows, cols)), shape=(self._num_nodes, self._num_nodes))
+
+    @classmethod
+    def from_networkx(cls, graph, weight: str = "delay", **kwargs) -> "PhysicalTopology":
+        """Build from a networkx graph whose nodes are ``0..n-1``.
+
+        Missing edge weights default to 1.0.
+        """
+        n = graph.number_of_nodes()
+        nodes = sorted(graph.nodes())
+        if nodes != list(range(n)):
+            raise ValueError("graph nodes must be exactly 0..n-1; relabel first")
+        edges = []
+        delays = []
+        for u, v, data in graph.edges(data=True):
+            edges.append((u, v))
+            delays.append(float(data.get(weight, 1.0)))
+        return cls(n, edges, delays, **kwargs)
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.Graph` with ``delay`` edge attributes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._num_nodes))
+        for (u, v), d in self._edge_delays.items():
+            g.add_edge(u, v, delay=d)
+        return g
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of hosts in the underlay."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of physical links."""
+        return len(self._edge_delays)
+
+    @property
+    def coordinates(self) -> Optional[np.ndarray]:
+        """Plane coordinates of the hosts, if the generator provided them."""
+        return self._coordinates
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over node ids."""
+        return iter(range(self._num_nodes))
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over ``(u, v, delay)`` triples with ``u < v``."""
+        for (u, v), d in self._edge_delays.items():
+            yield u, v, d
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Physical neighbors of *node* (sorted, immutable)."""
+        return self._adjacency[node]
+
+    def degree(self, node: int) -> int:
+        """Number of physical links attached to *node*."""
+        return len(self._adjacency[node])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node as an array."""
+        return np.array([len(a) for a in self._adjacency], dtype=np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether a direct physical link u-v exists."""
+        key = (u, v) if u < v else (v, u)
+        return key in self._edge_delays
+
+    def link_delay(self, u: int, v: int) -> float:
+        """Delay of the direct physical link u-v.
+
+        Raises ``KeyError`` if the link does not exist.
+        """
+        key = (u, v) if u < v else (v, u)
+        return self._edge_delays[key]
+
+    # ------------------------------------------------------------------
+    # Shortest paths
+    # ------------------------------------------------------------------
+
+    def _run_dijkstra(self, source: int) -> None:
+        dist, pred = dijkstra(
+            self._matrix, directed=False, indices=source, return_predecessors=True
+        )
+        self._dist_cache[source] = dist
+        self._pred_cache[source] = pred
+        while len(self._dist_cache) > self._cache_size:
+            old, _ = self._dist_cache.popitem(last=False)
+            self._pred_cache.pop(old, None)
+
+    def delays_from(self, source: int) -> np.ndarray:
+        """Shortest-path delay from *source* to every node.
+
+        Unreachable nodes get ``inf``.  The returned array is cached and must
+        not be mutated by the caller.
+        """
+        if not (0 <= source < self._num_nodes):
+            raise ValueError(f"source {source} out of range")
+        if source not in self._dist_cache:
+            self._run_dijkstra(source)
+        else:
+            self._dist_cache.move_to_end(source)
+        return self._dist_cache[source]
+
+    def delay(self, u: int, v: int) -> float:
+        """Shortest-path delay between hosts *u* and *v* (0 when ``u == v``)."""
+        if u == v:
+            return 0.0
+        # Serve from whichever endpoint is already cached to avoid extra runs.
+        if u in self._dist_cache:
+            return float(self._dist_cache[u][v])
+        if v in self._dist_cache:
+            return float(self._dist_cache[v][u])
+        return float(self.delays_from(u)[v])
+
+    def path(self, u: int, v: int) -> List[int]:
+        """One shortest path from *u* to *v* as a node list (inclusive).
+
+        Raises ``ValueError`` if *v* is unreachable from *u*.
+        """
+        if u == v:
+            return [u]
+        if u not in self._pred_cache:
+            self._run_dijkstra(u)
+        pred = self._pred_cache[u]
+        if pred[v] < 0:
+            raise ValueError(f"node {v} is unreachable from {u}")
+        out = [v]
+        node = v
+        while node != u:
+            node = int(pred[node])
+            out.append(node)
+        out.reverse()
+        return out
+
+    def path_delay(self, path: Sequence[int]) -> float:
+        """Total delay along an explicit node path."""
+        return sum(self.link_delay(a, b) for a, b in zip(path, path[1:]))
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Whether the underlay is a single connected component."""
+        n, _ = connected_components(self._matrix, directed=False)
+        return n == 1
+
+    def component_labels(self) -> np.ndarray:
+        """Connected-component label of every node."""
+        _, labels = connected_components(self._matrix, directed=False)
+        return labels
+
+    def largest_component_nodes(self) -> List[int]:
+        """Node ids of the largest connected component (sorted)."""
+        labels = self.component_labels()
+        counts = np.bincount(labels)
+        best = int(np.argmax(counts))
+        return [int(i) for i in np.flatnonzero(labels == best)]
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PhysicalTopology(num_nodes={self._num_nodes}, "
+            f"num_edges={self.num_edges})"
+        )

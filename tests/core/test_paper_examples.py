@@ -1,0 +1,97 @@
+"""Tests replaying the paper's worked examples (Figures 3, 5-6, Tables 1-2)."""
+
+import pytest
+
+from repro.experiments.paper_example import (
+    PEER_NAMES,
+    build_example_overlay,
+    run_walkthrough,
+)
+
+
+@pytest.fixture(scope="module")
+def walkthroughs():
+    return {
+        "blind": run_walkthrough(None),
+        "h1": run_walkthrough(1),
+        "h2": run_walkthrough(2),
+    }
+
+
+class TestExampleOverlay:
+    def test_six_peers(self):
+        ov = build_example_overlay()
+        assert ov.num_peers == 6
+        assert ov.is_connected()
+
+    def test_mismatched_link_costs_less_than_drawn(self):
+        ov = build_example_overlay()
+        # Drawn A-B delay is 10 but the underlay routes via C for 6.
+        assert ov.cost(0, 1) == pytest.approx(6.0)
+
+
+class TestScopeRetention:
+    def test_all_schemes_reach_all_peers(self, walkthroughs):
+        for w in walkthroughs.values():
+            assert w.reached == tuple(sorted(PEER_NAMES))
+
+
+class TestTrafficRelations:
+    """The Section 3.4 headline: traffic and duplicates fall with depth."""
+
+    def test_costs_strictly_decrease(self, walkthroughs):
+        assert (
+            walkthroughs["h2"].total_cost
+            < walkthroughs["h1"].total_cost
+            < walkthroughs["blind"].total_cost
+        )
+
+    def test_duplicates_decrease(self, walkthroughs):
+        blind = walkthroughs["blind"].duplicate_messages
+        h1 = walkthroughs["h1"].duplicate_messages
+        h2 = walkthroughs["h2"].duplicate_messages
+        assert blind > h1 > h2 == 0
+
+    def test_h2_has_no_redundant_messages(self, walkthroughs):
+        # "No path is traversed twice on the tree built in 2-neighbor
+        # closure": 5 messages reach the 5 other peers.
+        w = walkthroughs["h2"]
+        assert w.messages == len(PEER_NAMES) - 1
+
+    def test_exact_measured_values(self, walkthroughs):
+        """Pin the measured numbers so regressions are loud.
+
+        (The scanned paper's own table values are not recoverable; these are
+        the values of our structurally equivalent instance.)
+        """
+        assert walkthroughs["blind"].total_cost == pytest.approx(59.0)
+        assert walkthroughs["h1"].total_cost == pytest.approx(31.0)
+        assert walkthroughs["h2"].total_cost == pytest.approx(17.0)
+
+
+class TestWalkthroughDetails:
+    def test_query_paths_cover_all_peers(self, walkthroughs):
+        for w in walkthroughs.values():
+            receivers = {to for _frm, to in w.query_paths}
+            assert receivers == set(PEER_NAMES) - {w.source}
+
+    def test_rows_match_costs(self, walkthroughs):
+        ov = build_example_overlay()
+        for frm, to, cost in walkthroughs["h2"].rows():
+            u = PEER_NAMES.index(frm)
+            v = PEER_NAMES.index(to)
+            assert cost == pytest.approx(ov.cost(u, v))
+
+    def test_trees_recorded_for_each_peer(self, walkthroughs):
+        for name in PEER_NAMES:
+            assert name in walkthroughs["h1"].trees
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError, match="unknown peer"):
+            run_walkthrough(1, source="Z")
+
+    def test_blind_trees_are_full_neighbor_sets(self, walkthroughs):
+        ov = build_example_overlay()
+        for i, name in enumerate(PEER_NAMES):
+            expected = tuple(sorted(PEER_NAMES[n] for n in ov.neighbors(i)))
+            assert walkthroughs["blind"].trees[name] == expected

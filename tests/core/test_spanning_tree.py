@@ -1,0 +1,146 @@
+"""Unit tests for Prim spanning trees (ACE Phase 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.spanning_tree import SpanningTree, prim_mst, prim_mst_heap
+
+
+def graph_from_edges(edges):
+    """Symmetric adjacency {u: {v: cost}} from (u, v, cost) triples."""
+    nodes = set()
+    for u, v, _ in edges:
+        nodes.add(u)
+        nodes.add(v)
+    g = {n: {} for n in nodes}
+    for u, v, c in edges:
+        g[u][v] = c
+        g[v][u] = c
+    return g
+
+
+SIMPLE = graph_from_edges(
+    [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 5.0), (2, 3, 1.0), (1, 3, 4.0)]
+)
+
+
+@pytest.mark.parametrize("algo", [prim_mst, prim_mst_heap], ids=["array", "heap"])
+class TestPrimVariants:
+    def test_spans_all_nodes(self, algo):
+        tree = algo(SIMPLE, 0)
+        assert tree.nodes() == {0, 1, 2, 3}
+
+    def test_minimum_weight(self, algo):
+        tree = algo(SIMPLE, 0)
+        # MST: 0-1 (1), 1-2 (2), 2-3 (1) = 4.
+        assert tree.total_cost == pytest.approx(4.0)
+        assert tree.edges() == {(0, 1), (1, 2), (2, 3)}
+
+    def test_root_is_own_parent(self, algo):
+        tree = algo(SIMPLE, 2)
+        assert tree.parent[2] == 2
+        assert tree.root == 2
+
+    def test_same_mst_any_root(self, algo):
+        costs = {algo(SIMPLE, r).total_cost for r in SIMPLE}
+        assert costs == {4.0}
+
+    def test_single_node(self, algo):
+        tree = algo({7: {}}, 7)
+        assert tree.nodes() == {7}
+        assert tree.total_cost == 0.0
+        assert tree.tree_neighbors(7) == frozenset()
+
+    def test_two_nodes(self, algo):
+        tree = algo(graph_from_edges([(0, 1, 3.0)]), 0)
+        assert tree.edges() == {(0, 1)}
+        assert tree.total_cost == 3.0
+
+    def test_disconnected_raises(self, algo):
+        g = graph_from_edges([(0, 1, 1.0)])
+        g[2] = {}
+        with pytest.raises(ValueError, match="not connected"):
+            algo(g, 0)
+
+    def test_missing_root_raises(self, algo):
+        with pytest.raises(ValueError, match="root"):
+            algo(SIMPLE, 99)
+
+    def test_negative_cost_raises(self, algo):
+        with pytest.raises(ValueError, match="negative"):
+            algo(graph_from_edges([(0, 1, -1.0)]), 0)
+
+    def test_dangling_edge_raises(self, algo):
+        g = {0: {1: 1.0}}
+        with pytest.raises(ValueError, match="leaves"):
+            algo(g, 0)
+
+    def test_matches_networkx_weight(self, algo):
+        import networkx as nx
+
+        rng = np.random.default_rng(7)
+        g_nx = nx.gnm_random_graph(15, 40, seed=3)
+        # Ensure connectivity.
+        nodes = list(g_nx.nodes())
+        for a, b in zip(nodes, nodes[1:]):
+            g_nx.add_edge(a, b)
+        for u, v in g_nx.edges():
+            g_nx[u][v]["weight"] = float(rng.uniform(1, 100))
+        g = graph_from_edges(
+            [(u, v, g_nx[u][v]["weight"]) for u, v in g_nx.edges()]
+        )
+        expected = sum(
+            d["weight"] for _u, _v, d in nx.minimum_spanning_edges(g_nx, data=True)
+        )
+        assert algo(g, 0).total_cost == pytest.approx(expected)
+
+
+class TestVariantEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_array_and_heap_agree_on_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 12
+        edges = []
+        for i in range(1, n):
+            edges.append((i, int(rng.integers(i)), float(rng.uniform(1, 50))))
+        for _ in range(20):
+            u, v = rng.integers(n, size=2)
+            if u != v:
+                edges.append((int(u), int(v), float(rng.uniform(1, 50))))
+        g = graph_from_edges(edges)
+        for root in (0, n - 1):
+            a = prim_mst(g, root)
+            b = prim_mst_heap(g, root)
+            assert a.parent == b.parent
+            assert a.total_cost == pytest.approx(b.total_cost)
+
+
+class TestSpanningTreeApi:
+    def test_children_orientation(self):
+        tree = prim_mst(SIMPLE, 0)
+        assert tree.children(0) == {1}
+        assert tree.children(1) == {2}
+        assert tree.children(3) == set()
+
+    def test_depth_of(self):
+        tree = prim_mst(SIMPLE, 0)
+        assert tree.depth_of(0) == 0
+        assert tree.depth_of(3) == 3
+
+    def test_tree_neighbors_absent_node(self):
+        tree = prim_mst(SIMPLE, 0)
+        assert tree.tree_neighbors(42) == frozenset()
+
+    def test_depth_of_detects_cycle(self):
+        bad = SpanningTree(
+            root=0,
+            parent={0: 0, 1: 2, 2: 1},
+            adjacency={
+                0: frozenset(),
+                1: frozenset({2}),
+                2: frozenset({1}),
+            },
+            total_cost=0.0,
+        )
+        with pytest.raises(RuntimeError, match="cycle"):
+            bad.depth_of(1)

@@ -1,0 +1,66 @@
+"""Unit tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.experiments.ascii_plot import line_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_extremes(self):
+        s = sparkline([0, 100, 0])
+        assert s[0] == "▁" and s[1] == "█" and s[2] == "▁"
+
+    def test_downsampling(self):
+        s = sparkline(list(range(100)), width=10)
+        assert len(s) == 10
+        # Still monotone after bucketing.
+        levels = [("▁▂▃▄▅▆▇█").index(c) for c in s]
+        assert levels == sorted(levels)
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert line_chart({}) == ""
+
+    def test_height_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, height=1)
+
+    def test_dimensions(self):
+        chart = line_chart({"a": [1, 2, 3, 4]}, height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 5 + 2  # rows + axis + legend
+        assert lines[-1].strip().startswith("*=a")
+
+    def test_extremes_on_labels(self):
+        chart = line_chart({"a": [0.0, 10.0]}, height=4)
+        assert "10" in chart.splitlines()[0]
+        assert "0" in chart.splitlines()[3]
+
+    def test_two_series_two_markers(self):
+        chart = line_chart({"up": [1, 2, 3], "down": [3, 2, 1]}, height=4)
+        assert "*" in chart and "o" in chart
+        assert "*=up" in chart and "o=down" in chart
+
+    def test_flat_series_at_bottom(self):
+        chart = line_chart({"flat": [2, 2, 2]}, height=3)
+        rows = chart.splitlines()
+        assert "***" in rows[2]
+
+    def test_width_truncation(self):
+        chart = line_chart({"a": list(range(50))}, height=3, width=10)
+        first_row = chart.splitlines()[0]
+        assert len(first_row) <= 10 + 12  # label + axis + data

@@ -1,0 +1,135 @@
+"""Tests for the depth sweep and optimization-rate transforms (Figs 11-16)."""
+
+import pytest
+
+from repro.experiments.depth_sweep import (
+    DepthSweepConfig,
+    DepthSweepResult,
+    run_depth_sweep,
+)
+from repro.experiments.opt_rate import (
+    minimal_depths_table,
+    rate_vs_depth,
+    rate_vs_frequency_ratio,
+)
+from repro.experiments.setup import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    cfg = DepthSweepConfig(
+        degrees=(4, 8),
+        depths=(1, 2, 3),
+        convergence_steps=4,
+        query_samples=8,
+        base=ScenarioConfig(physical_nodes=250, peers=48, seed=6),
+    )
+    return run_depth_sweep(cfg)
+
+
+class TestSweepShape:
+    def test_all_combinations_measured(self, sweep):
+        assert set(sweep.tradeoffs) == {
+            (c, h) for c in (4, 8) for h in (1, 2, 3)
+        }
+        assert sweep.degrees() == [4, 8]
+        assert sweep.depths() == [1, 2, 3]
+
+    def test_for_degree_ordered(self, sweep):
+        ts = sweep.for_degree(4)
+        assert [t.depth for t in ts] == [1, 2, 3]
+
+    def test_positive_measurements(self, sweep):
+        for t in sweep.tradeoffs.values():
+            assert t.baseline_traffic_per_query > 0
+            assert t.overhead_per_reconstruction > 0
+
+
+class TestFigure11Claims:
+    def test_reduction_positive(self, sweep):
+        for t in sweep.tradeoffs.values():
+            assert t.reduction_percent > 0
+
+    def test_reduction_grows_with_depth(self, sweep):
+        """Deeper closures optimize at least as well (within tolerance)."""
+        for degree in (4, 8):
+            ts = sweep.for_degree(degree)
+            assert ts[-1].reduction_percent >= ts[0].reduction_percent - 5.0
+
+    def test_reduction_grows_with_degree(self, sweep):
+        """Figure 11: for a given h the reduction rate increases with C."""
+        for h in (1, 2, 3):
+            assert (
+                sweep.tradeoffs[(8, h)].reduction_percent
+                > sweep.tradeoffs[(4, h)].reduction_percent
+            )
+
+
+class TestFigure12Claims:
+    def test_overhead_grows_with_depth(self, sweep):
+        for degree in (4, 8):
+            ts = sweep.for_degree(degree)
+            assert ts[-1].overhead_per_reconstruction > ts[0].overhead_per_reconstruction
+
+    def test_overhead_grows_with_degree(self, sweep):
+        for h in (1, 2, 3):
+            assert (
+                sweep.tradeoffs[(8, h)].overhead_per_reconstruction
+                > sweep.tradeoffs[(4, h)].overhead_per_reconstruction
+            )
+
+
+class TestRateTransforms:
+    def test_rate_vs_depth_series(self, sweep):
+        series = rate_vs_depth(sweep, 4, r_values=(1.0, 2.0))
+        assert set(series) == {1.0, 2.0}
+        assert [h for h, _r in series[1.0]] == [1, 2, 3]
+
+    def test_rate_scales_with_r(self, sweep):
+        series = rate_vs_depth(sweep, 4, r_values=(1.0, 2.0))
+        for (h1, r1), (h2, r2) in zip(series[1.0], series[2.0]):
+            assert h1 == h2
+            assert r2 == pytest.approx(2 * r1)
+
+    def test_rate_vs_frequency_ratio_series(self, sweep):
+        series = rate_vs_frequency_ratio(sweep, 8, r_values=(1.0, 2.0, 4.0))
+        assert set(series) == {1, 2, 3}
+        for pts in series.values():
+            rates = [rate for _r, rate in pts]
+            assert rates == sorted(rates)  # monotone in R
+
+    def test_unknown_degree_raises(self, sweep):
+        with pytest.raises(ValueError):
+            rate_vs_depth(sweep, 99, r_values=(1.0,))
+        with pytest.raises(ValueError):
+            rate_vs_frequency_ratio(sweep, 99, r_values=(1.0,))
+
+    def test_unknown_depth_raises(self, sweep):
+        with pytest.raises(ValueError):
+            rate_vs_frequency_ratio(sweep, 4, r_values=(1.0,), depths=(9,))
+
+
+class TestMinimalDepthTable:
+    def test_table_covers_degrees(self, sweep):
+        table = minimal_depths_table(sweep, r_values=(1.0, 50.0))
+        assert set(table) == {4, 8}
+
+    def test_r1_is_never_profitable(self, sweep):
+        """The paper's Figure 13 claim: at R = 1 ACE never pays off."""
+        table = minimal_depths_table(sweep, r_values=(1.0,))
+        for degree in (4, 8):
+            assert table[degree][1.0] is None
+
+    def test_large_r_profitable(self, sweep):
+        table = minimal_depths_table(sweep, r_values=(200.0,))
+        for degree in (4, 8):
+            assert table[degree][200.0] is not None
+
+    def test_minimal_depth_non_increasing_in_r(self, sweep):
+        table = minimal_depths_table(sweep, r_values=(5.0, 50.0, 500.0))
+        for degree in (4, 8):
+            depths = [
+                table[degree][r] if table[degree][r] is not None else 99
+                for r in (5.0, 50.0, 500.0)
+            ]
+            assert depths == sorted(depths, reverse=True)

@@ -1,0 +1,99 @@
+"""Tests for dynamic-environment internals (churn wiring, series types)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.dynamic_env import (
+    DynamicConfig,
+    DynamicSeries,
+    _build_churn,
+    run_dynamic_experiment,
+)
+from repro.experiments.setup import ScenarioConfig, build_scenario
+
+
+@pytest.fixture
+def scenario():
+    return build_scenario(
+        ScenarioConfig(physical_nodes=250, peers=30, avg_degree=6, seed=8)
+    )
+
+
+class TestBuildChurn:
+    def test_offline_pool_sized_by_fraction(self, scenario):
+        config = DynamicConfig(total_queries=10, window=5, offline_fraction=0.5)
+        churn = _build_churn(scenario, config, np.random.default_rng(0))
+        assert churn.offline_count == 15
+        assert churn.online_count == 30
+
+    def test_offline_hosts_disjoint_from_online(self, scenario):
+        config = DynamicConfig(total_queries=10, window=5)
+        churn = _build_churn(scenario, config, np.random.default_rng(0))
+        online_hosts = {
+            scenario.overlay.host_of(p) for p in scenario.overlay.peers()
+        }
+        offline_hosts = {
+            rec.host
+            for pid, rec in churn.records.items()
+            if not scenario.overlay.has_peer(pid)
+        }
+        assert not online_hosts & offline_hosts
+
+    def test_offline_ids_fresh(self, scenario):
+        config = DynamicConfig(total_queries=10, window=5)
+        churn = _build_churn(scenario, config, np.random.default_rng(0))
+        online = set(scenario.overlay.peers())
+        offline = set(churn.records) - online
+        assert offline
+        assert min(offline) > max(online)
+
+
+class TestDynamicSeries:
+    def test_mean_helpers(self):
+        s = DynamicSeries(window=10)
+        s.traffic_points = [10.0, 20.0]
+        s.response_points = [1.0, 3.0]
+        assert s.mean_traffic == pytest.approx(15.0)
+        assert s.mean_response == pytest.approx(2.0)
+
+    def test_empty_means(self):
+        s = DynamicSeries(window=10)
+        assert s.mean_traffic == 0.0
+        assert s.mean_response == 0.0
+
+
+class TestPopulationInvariant:
+    def test_population_constant_through_run(self, scenario):
+        before = scenario.overlay.num_peers
+        run_dynamic_experiment(
+            scenario, DynamicConfig(total_queries=150, window=50)
+        )
+        assert scenario.overlay.num_peers == before
+
+    def test_overlay_stays_connected_enough(self, scenario):
+        run_dynamic_experiment(
+            scenario, DynamicConfig(total_queries=150, window=50)
+        )
+        components = scenario.overlay.components()
+        # The giant component holds (almost) everyone; stragglers are
+        # repaired at the next bootstrap tick.
+        assert len(components[0]) >= 0.9 * scenario.overlay.num_peers
+
+    def test_ttl_limited_run(self, scenario):
+        series = run_dynamic_experiment(
+            scenario,
+            DynamicConfig(total_queries=100, window=50, ttl=3),
+        )
+        # TTL caps the scope below full coverage on a 30-peer overlay only
+        # if the overlay is deep enough; the scope must never exceed n.
+        assert all(p <= 30 for p in series.scope_points)
+
+    def test_cache_arm_runs(self, scenario):
+        series = run_dynamic_experiment(
+            scenario,
+            DynamicConfig(
+                total_queries=100, window=50, enable_cache=True,
+                cache_capacity=10,
+            ),
+        )
+        assert series.total_queries == 100

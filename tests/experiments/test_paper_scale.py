@@ -1,0 +1,61 @@
+"""Tests for paper-scale presets and the run-cost estimator."""
+
+import pytest
+
+from repro.experiments.paper_scale import (
+    PAPER_PEERS,
+    PAPER_PHYSICAL_NODES,
+    PAPER_TOPOLOGY_COUNT,
+    estimate_static_run_cost,
+    paper_scenario,
+    paper_seed_family,
+)
+from repro.experiments.setup import ScenarioConfig, build_scenario
+
+
+class TestPresets:
+    def test_paper_constants(self):
+        assert PAPER_PHYSICAL_NODES == 20_000
+        assert PAPER_PEERS == 8_000
+        assert PAPER_TOPOLOGY_COUNT == 10
+
+    def test_paper_scenario_fields(self):
+        config = paper_scenario(avg_degree=6.0, seed=3)
+        assert config.physical_nodes == 20_000
+        assert config.peers == 8_000
+        assert config.avg_degree == 6.0
+        assert config.seed == 3
+
+    def test_scaled_down_scenario_buildable(self):
+        # The preset pipeline works end to end at a reduced scale.
+        config = paper_scenario(peers=40, physical_nodes=300, seed=1)
+        scenario = build_scenario(config)
+        assert scenario.overlay.num_peers == 40
+
+    def test_seed_family(self):
+        family = paper_seed_family(base_seed=7)
+        assert len(family) == 10
+        assert len(set(family)) == 10
+        assert family[0] == 7
+
+
+class TestCostEstimate:
+    def test_monotone_in_scale(self):
+        small = estimate_static_run_cost(
+            ScenarioConfig(physical_nodes=1000, peers=100)
+        )
+        large = estimate_static_run_cost(
+            ScenarioConfig(physical_nodes=20000, peers=8000)
+        )
+        assert large.estimated_seconds > 10 * small.estimated_seconds
+
+    def test_paper_scale_is_substantial(self):
+        estimate = estimate_static_run_cost(paper_scenario())
+        assert estimate.estimated_seconds > 120  # minutes, not seconds
+
+    def test_format(self):
+        estimate = estimate_static_run_cost(
+            ScenarioConfig(physical_nodes=1000, peers=100)
+        )
+        text = estimate.format()
+        assert "min" in text and "100 peers" in text

@@ -1,0 +1,55 @@
+"""Unit tests for text reporting."""
+
+import pytest
+
+from repro.experiments.reporting import format_percent, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_precision(self):
+        text = format_table(["x"], [[3.14159]], precision=3)
+        assert "3.142" in text
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["x"], [[None]])
+        assert text.splitlines()[-1].strip() == "-"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="row width"):
+            format_table(["a", "b"], [[1]])
+
+    def test_integers_not_decimalized(self):
+        text = format_table(["x"], [[7]])
+        assert "7" in text and "7.00" not in text
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        text = format_series(
+            "h", [1, 2], {"C=4": [10.0, 20.0], "C=10": [30.0, 40.0]}
+        )
+        lines = text.splitlines()
+        assert "C=4" in lines[0] and "C=10" in lines[0]
+        assert "10.00" in lines[2]
+        assert "40.00" in lines[3]
+
+    def test_short_series_padded(self):
+        text = format_series("x", [1, 2, 3], {"y": [5.0]})
+        assert text.splitlines()[-1].strip().endswith("-")
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(42.123) == "42.1%"
+        assert format_percent(42.123, precision=2) == "42.12%"

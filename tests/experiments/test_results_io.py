@@ -1,0 +1,120 @@
+"""Tests for typed JSON persistence of experiment results."""
+
+import json
+
+import pytest
+
+from repro.experiments.depth_sweep import DepthSweepResult
+from repro.experiments.dynamic_env import DynamicSeries
+from repro.experiments.results_io import (
+    FORMAT_VERSION,
+    from_document,
+    load_result,
+    save_result,
+    to_document,
+)
+from repro.experiments.static_env import StaticSeries
+from repro.metrics.optimization import OptimizationTradeoff
+from repro.topology.properties import TopologyReport
+
+
+def make_static():
+    return StaticSeries(
+        avg_degree=6.0,
+        steps=[0, 1, 2],
+        traffic_per_query=[100.0, 80.0, 60.0],
+        response_time=[10.0, 9.0, 8.0],
+        search_scope=[40.0, 40.0, 40.0],
+        step_overhead=[0.0, 5.0, 5.0],
+    )
+
+
+def make_tradeoff(depth=2):
+    return OptimizationTradeoff(
+        depth=depth,
+        avg_degree=6.0,
+        baseline_traffic_per_query=100.0,
+        optimized_traffic_per_query=55.0,
+        overhead_per_reconstruction=20.0,
+    )
+
+
+class TestRoundTrips:
+    def test_static_series(self, tmp_path):
+        original = make_static()
+        path = save_result(original, tmp_path / "static.json")
+        restored = load_result(path)
+        assert restored == original
+        assert restored.traffic_reduction_percent == pytest.approx(40.0)
+
+    def test_dynamic_series(self, tmp_path):
+        original = DynamicSeries(
+            window=100,
+            traffic_points=[3.0, 2.0],
+            response_points=[1.0],
+            success_points=[1.0, 0.9],
+            scope_points=[40.0, 40.0],
+            total_queries=200,
+            total_overhead=12.0,
+            departures=5,
+            duration=123.0,
+        )
+        restored = load_result(save_result(original, tmp_path / "dyn.json"))
+        assert restored == original
+
+    def test_tradeoff(self, tmp_path):
+        original = make_tradeoff()
+        restored = load_result(save_result(original, tmp_path / "t.json"))
+        assert restored == original
+        assert restored.rate(2.0) == original.rate(2.0)
+
+    def test_depth_sweep(self, tmp_path):
+        sweep = DepthSweepResult()
+        for c in (4, 10):
+            for h in (1, 2):
+                sweep.tradeoffs[(c, h)] = make_tradeoff(depth=h)
+        restored = load_result(save_result(sweep, tmp_path / "sweep.json"))
+        assert restored.tradeoffs == sweep.tradeoffs
+        assert restored.degrees() == [4, 10]
+
+    def test_topology_report(self, tmp_path):
+        report = TopologyReport(
+            num_nodes=10, num_edges=20, average_degree=4.0, max_degree=6,
+            power_law_alpha=2.3, clustering=0.4, path_length=2.5,
+            small_world_sigma=5.0,
+        )
+        restored = load_result(save_result(report, tmp_path / "r.json"))
+        assert restored == report
+
+
+class TestDocuments:
+    def test_metadata_stored(self, tmp_path):
+        path = save_result(
+            make_static(), tmp_path / "s.json", metadata={"seed": 7}
+        )
+        raw = json.loads(path.read_text())
+        assert raw["metadata"] == {"seed": 7}
+        assert raw["kind"] == "static_series"
+        assert raw["format_version"] == FORMAT_VERSION
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot serialize"):
+            to_document(object())
+
+    def test_bad_version_rejected(self):
+        doc = to_document(make_static())
+        doc["format_version"] = 999
+        with pytest.raises(ValueError, match="format version"):
+            from_document(doc)
+
+    def test_unknown_kind_rejected(self):
+        doc = to_document(make_static())
+        doc["kind"] = "martian"
+        with pytest.raises(ValueError, match="unknown result kind"):
+            from_document(doc)
+
+    def test_json_is_plain(self, tmp_path):
+        path = save_result(make_static(), tmp_path / "s.json")
+        # The document is plain JSON readable by anything.
+        data = json.loads(path.read_text())
+        assert isinstance(data["data"]["traffic_per_query"], list)

@@ -1,0 +1,106 @@
+"""Unit tests for experiment scenario construction."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.setup import (
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+    repro_scale,
+)
+
+
+SMALL = ScenarioConfig(physical_nodes=200, peers=40, avg_degree=6, seed=5)
+
+
+class TestBuildScenario:
+    def test_builds_world(self):
+        sc = build_scenario(SMALL)
+        assert sc.physical.num_nodes == 200
+        assert sc.overlay.num_peers == 40
+        assert sc.overlay.is_connected()
+        assert sc.catalog.num_objects > 0
+
+    def test_deterministic(self):
+        a = build_scenario(SMALL)
+        b = build_scenario(SMALL)
+        assert sorted(a.overlay.edges()) == sorted(b.overlay.edges())
+        assert sorted(a.physical.edges()) == sorted(b.physical.edges())
+
+    def test_seed_changes_world(self):
+        a = build_scenario(SMALL)
+        b = build_scenario(ScenarioConfig(
+            physical_nodes=200, peers=40, avg_degree=6, seed=6))
+        assert sorted(a.overlay.edges()) != sorted(b.overlay.edges())
+
+    def test_degree_change_keeps_underlay(self):
+        a = build_scenario(SMALL)
+        b = build_scenario(ScenarioConfig(
+            physical_nodes=200, peers=40, avg_degree=10, seed=5))
+        assert sorted(a.physical.edges()) == sorted(b.physical.edges())
+
+    def test_unknown_underlay(self):
+        with pytest.raises(ValueError, match="underlay"):
+            build_scenario(ScenarioConfig(underlay="bogus"))
+
+    def test_unknown_overlay_kind(self):
+        with pytest.raises(ValueError, match="overlay kind"):
+            build_scenario(ScenarioConfig(overlay_kind="bogus"))
+
+    @pytest.mark.parametrize("kind", ["random", "power_law", "small_world"])
+    def test_all_overlay_kinds(self, kind):
+        sc = build_scenario(ScenarioConfig(
+            physical_nodes=200, peers=30, overlay_kind=kind, seed=1))
+        assert sc.overlay.num_peers == 30
+
+    @pytest.mark.parametrize("underlay", ["ba", "waxman", "glp", "ws"])
+    def test_all_underlays(self, underlay):
+        sc = build_scenario(ScenarioConfig(
+            physical_nodes=150, peers=25, underlay=underlay, seed=1))
+        assert sc.physical.num_nodes == 150
+
+
+class TestScenarioHelpers:
+    def test_fresh_overlay_independent(self):
+        sc = build_scenario(SMALL)
+        clone = sc.fresh_overlay()
+        edge = next(iter(clone.edges()))
+        clone.disconnect(*edge)
+        assert sc.overlay.has_edge(*edge)
+
+    def test_sample_sources(self):
+        sc = build_scenario(SMALL)
+        sources = sc.sample_sources(10)
+        assert len(sources) == 10
+        assert all(sc.overlay.has_peer(s) for s in sources)
+
+
+class TestScale:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert repro_scale() == 1.0
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert repro_scale() == 2.5
+
+    def test_bad_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "zed")
+        with pytest.raises(ValueError):
+            repro_scale()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            repro_scale()
+
+    def test_scaled_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        scaled = SMALL.scaled()
+        assert scaled.physical_nodes == 100
+        assert scaled.peers == 20
+
+    def test_scaled_floor(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        scaled = SMALL.scaled(0.001)
+        assert scaled.physical_nodes >= 64
+        assert scaled.peers >= 16

@@ -1,0 +1,99 @@
+"""Unit tests for the Gia capacity-aware comparator."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.gia import GiaAdaptation, GiaReport, assign_capacities
+from repro.topology.overlay import small_world_overlay
+
+
+@pytest.fixture
+def world(ba_physical):
+    return small_world_overlay(
+        ba_physical, 40, avg_degree=6, rng=np.random.default_rng(7)
+    )
+
+
+class TestCapacities:
+    def test_assignment_levels(self):
+        caps = assign_capacities(list(range(500)), np.random.default_rng(0))
+        assert set(caps.values()) <= {1.0, 10.0, 100.0, 1000.0}
+        assert len(caps) == 500
+
+    def test_distribution_shape(self):
+        caps = assign_capacities(list(range(4000)), np.random.default_rng(0))
+        values = list(caps.values())
+        # The 10x level dominates; 1000x is rare.
+        assert values.count(10.0) > values.count(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_capacities([1], np.random.default_rng(0),
+                              levels=(1.0,), weights=(0.5, 0.5))
+
+
+class TestTargetDegree:
+    def test_monotone_in_capacity(self, world):
+        gia = GiaAdaptation(
+            world,
+            capacities={p: 1.0 for p in world.peers()},
+            rng=np.random.default_rng(0),
+        )
+        gia.capacities[world.peers()[0]] = 1000.0
+        low = gia.target_degree(world.peers()[1])
+        high = gia.target_degree(world.peers()[0])
+        assert high > low
+
+    def test_clamped(self, world):
+        gia = GiaAdaptation(
+            world,
+            capacities={p: 10.0**9 for p in world.peers()},
+            rng=np.random.default_rng(0),
+            max_degree=12,
+        )
+        assert gia.target_degree(world.peers()[0]) == 12
+
+
+class TestAdaptation:
+    def test_correlation_improves(self, world):
+        gia = GiaAdaptation(world, rng=np.random.default_rng(1))
+        before = gia.capacity_degree_correlation()
+        gia.run(6)
+        after = gia.capacity_degree_correlation()
+        assert after > before
+        assert after > 0.3
+
+    def test_degree_bounds_respected(self, world):
+        gia = GiaAdaptation(
+            world, rng=np.random.default_rng(1), min_degree=2, max_degree=16
+        )
+        gia.run(6)
+        for p in world.peers():
+            assert world.degree(p) <= 16
+
+    def test_reports_accumulate(self, world):
+        gia = GiaAdaptation(world, rng=np.random.default_rng(1))
+        report = gia.step()
+        assert gia.steps_run == 1
+        assert report.rewires + report.satisfied_peers > 0
+
+    def test_paper_point_mismatch_untouched(self, world):
+        """Section 2: Gia 'does not address the topology mismatching
+        problem' — the average logical-link cost barely moves, while ACE
+        drives it down on the same overlay."""
+        from repro.core.ace import AceProtocol
+
+        baseline = world.total_edge_cost() / world.num_edges
+
+        gia_world = world.copy()
+        gia = GiaAdaptation(gia_world, rng=np.random.default_rng(2))
+        gia.run(6)
+        gia_cost = gia_world.total_edge_cost() / gia_world.num_edges
+
+        ace_world = world.copy()
+        protocol = AceProtocol(ace_world, rng=np.random.default_rng(2))
+        protocol.run(6)
+        ace_cost = ace_world.total_edge_cost() / ace_world.num_edges
+
+        assert ace_cost < 0.8 * baseline
+        assert gia_cost > 0.8 * baseline  # locality-oblivious rewiring

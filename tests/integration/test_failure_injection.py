@@ -1,0 +1,145 @@
+"""Failure injection: lossy links, mid-protocol churn, broken state.
+
+The paper's protocol is "adaptive to the dynamic nature of P2P systems";
+these tests stress the implementation beyond the ordinary churn model —
+messages vanish, peers leave between protocol phases, routing state goes
+stale in adversarial orders — and check that nothing crashes, scope
+degrades gracefully, and invariants (connectivity, population) hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ace import AceConfig, AceProtocol
+from repro.search.flooding import blind_flooding_strategy, propagate
+from repro.search.tree_routing import ace_strategy
+from repro.sim.network import MessageNetwork
+from repro.sim.node import run_message_level_query
+from repro.topology.overlay import small_world_overlay
+
+
+@pytest.fixture
+def world(ba_physical):
+    return small_world_overlay(
+        ba_physical, 36, avg_degree=6, rng=np.random.default_rng(31)
+    )
+
+
+class TestLossyNetwork:
+    def test_loss_rate_validation(self, world):
+        with pytest.raises(ValueError):
+            MessageNetwork(world, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            MessageNetwork(world, loss_rate=-0.1)
+
+    def test_lossless_by_default(self, world):
+        network = MessageNetwork(world)
+        assert network.loss_rate == 0.0
+
+    def test_losses_are_charged_but_not_delivered(self, world):
+        from repro.sim.messages import Ping
+
+        received = []
+
+        class Recorder:
+            def on_message(self, network, message, sender, now):
+                received.append(message)
+
+        network = MessageNetwork(
+            world, loss_rate=0.5, rng=np.random.default_rng(0)
+        )
+        peers = world.peers()
+        u = peers[0]
+        v = next(iter(world.neighbors(u)))
+        network.attach(v, Recorder())
+        for _ in range(200):
+            network.send(u, v, Ping(sender=u))
+        network.run()
+        assert network.stats.messages == 200
+        assert network.stats.lost_messages > 50
+        assert len(received) == 200 - network.stats.lost_messages
+
+    def test_flooding_degrades_gracefully_under_loss(self, world):
+        strategy = blind_flooding_strategy(world)
+        source = world.peers()[0]
+
+        def scope_at(loss):
+            network_kwargs = {}
+            # run_message_level_query builds its own network; emulate by
+            # monkey-level: use MessageNetwork directly via the node API.
+            from repro.sim.node import QueryNode
+
+            network = MessageNetwork(
+                world, loss_rate=loss, rng=np.random.default_rng(1)
+            )
+            nodes = {}
+            for peer in world.peers():
+                node = QueryNode(peer, strategy)
+                nodes[peer] = node
+                network.attach(peer, node)
+            query = nodes[source].start_query(network, "obj", None)
+            network.run()
+            return sum(
+                1 for n in nodes.values() if query.guid in n.first_arrival
+            )
+
+        full = scope_at(0.0)
+        lossy = scope_at(0.3)
+        assert full == world.num_peers
+        # Redundant flooding paths absorb much of the loss.
+        assert lossy >= 0.5 * full
+
+
+class TestMidProtocolChurn:
+    def test_peer_leaves_between_phases(self, world):
+        protocol = AceProtocol(world, rng=np.random.default_rng(2))
+        protocol.step()
+        # Remove a peer without telling the protocol (worst case).
+        victim = world.peers()[0]
+        world.remove_peer(victim)
+        # Routing from everyone else must not crash and must cover the rest.
+        source = world.peers()[0]
+        prop = propagate(world, source, ace_strategy(protocol), ttl=None)
+        assert victim not in prop.reached
+        assert len(prop.reached) >= 0.9 * world.num_peers
+
+    def test_optimizing_after_unannounced_departures(self, world):
+        protocol = AceProtocol(world, rng=np.random.default_rng(2))
+        protocol.step()
+        rng = np.random.default_rng(3)
+        for _ in range(4):
+            peers = world.peers()
+            world.remove_peer(peers[int(rng.integers(len(peers)))])
+        report = protocol.step()  # must cope with the shrunken overlay
+        assert report.peers_optimized == world.num_peers
+
+    def test_step_with_stale_peer_list(self, world):
+        protocol = AceProtocol(world, rng=np.random.default_rng(2))
+        stale = world.peers()
+        world.remove_peer(stale[0])
+        report = protocol.step(peers=stale)
+        assert report.peers_optimized == len(stale) - 1
+
+
+class TestAdversarialStateStaleness:
+    def test_all_edges_replaced_under_protocols_feet(self, world):
+        protocol = AceProtocol(
+            world, AceConfig(shed_redundant=False), rng=np.random.default_rng(4)
+        )
+        protocol.step()
+        # Rewire the overlay into a ring, invalidating every tree.
+        for u, v in list(world.edges()):
+            world.disconnect(u, v)
+        peers = world.peers()
+        for i, p in enumerate(peers):
+            world.connect(p, peers[(i + 1) % len(peers)])
+        # Stale flooding sets must fall back safely: scope still full.
+        prop = propagate(world, peers[0], ace_strategy(protocol), ttl=None)
+        assert prop.reached == set(peers)
+
+    def test_empty_overlay_after_total_collapse(self, world):
+        protocol = AceProtocol(world, rng=np.random.default_rng(4))
+        for p in world.peers():
+            world.remove_peer(p)
+        report = protocol.step()
+        assert report.peers_optimized == 0

@@ -1,0 +1,165 @@
+"""Property-based tests for the search baselines and two-tier overlays."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.hpf import hpf_strategy
+from repro.search.expanding_ring import expanding_ring_query
+from repro.search.flooding import blind_flooding_strategy, propagate
+from repro.search.random_walk import random_walk_query
+from repro.topology.generators import barabasi_albert
+from repro.topology.overlay import small_world_overlay
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+world_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=12, max_value=26),
+    st.sampled_from([4, 6, 8]),
+)
+
+
+def build_world(seed, n_peers, degree):
+    rng = np.random.default_rng(seed)
+    physical = barabasi_albert(max(4 * n_peers, 60), m=2, rng=rng)
+    return small_world_overlay(physical, n_peers, avg_degree=degree, rng=rng)
+
+
+class TestRandomWalkProperties:
+    @SLOW
+    @given(params=world_params, walkers=st.integers(1, 6))
+    def test_walk_scope_subset_of_flood_scope(self, params, walkers):
+        seed, n_peers, degree = params
+        overlay = build_world(seed, n_peers, degree)
+        source = overlay.peers()[0]
+        flood = propagate(overlay, source, blind_flooding_strategy(overlay), ttl=None)
+        walk = random_walk_query(
+            overlay, source, [], np.random.default_rng(seed),
+            walkers=walkers, max_hops=10,
+        )
+        assert walk.reached <= flood.reached
+
+    @SLOW
+    @given(params=world_params)
+    def test_walk_messages_bounded_by_budget(self, params):
+        seed, n_peers, degree = params
+        overlay = build_world(seed, n_peers, degree)
+        walk = random_walk_query(
+            overlay, overlay.peers()[0], [], np.random.default_rng(seed),
+            walkers=3, max_hops=7, stop_on_hit=False,
+        )
+        assert walk.messages <= 3 * 7
+
+    @SLOW
+    @given(params=world_params)
+    def test_arrival_times_lower_bounded_by_metric(self, params):
+        seed, n_peers, degree = params
+        overlay = build_world(seed, n_peers, degree)
+        source = overlay.peers()[0]
+        walk = random_walk_query(
+            overlay, source, [], np.random.default_rng(seed),
+            walkers=4, max_hops=10,
+        )
+        for peer, t in walk.arrival_time.items():
+            # A walk cannot beat the metric shortest path.
+            assert t >= overlay.cost(source, peer) - 1e-9
+
+
+class TestExpandingRingProperties:
+    @SLOW
+    @given(params=world_params, holder_idx=st.integers(1, 10))
+    def test_found_holder_is_real(self, params, holder_idx):
+        seed, n_peers, degree = params
+        overlay = build_world(seed, n_peers, degree)
+        peers = overlay.peers()
+        holder = peers[holder_idx % len(peers)]
+        source = peers[0]
+        if holder == source:
+            return
+        result = expanding_ring_query(
+            overlay, source, blind_flooding_strategy(overlay), [holder]
+        )
+        # A connected overlay with TTL up to 7 nearly always finds it;
+        # when it does, the record must be consistent.
+        if result.success:
+            assert result.holders_reached == (holder,)
+            assert result.ttl_used in (1, 2, 4, 7)
+            assert result.first_response_time > 0
+
+    @SLOW
+    @given(params=world_params)
+    def test_rounds_monotone_in_distance(self, params):
+        seed, n_peers, degree = params
+        overlay = build_world(seed, n_peers, degree)
+        source = overlay.peers()[0]
+        strategy = blind_flooding_strategy(overlay)
+        flood = propagate(overlay, source, strategy, ttl=None)
+        near = min(
+            (p for p in flood.hops if p != source), key=lambda p: flood.hops[p]
+        )
+        far = max(flood.hops, key=lambda p: flood.hops[p])
+        near_rounds = expanding_ring_query(overlay, source, strategy, [near]).rounds
+        far_rounds = expanding_ring_query(overlay, source, strategy, [far]).rounds
+        assert near_rounds <= far_rounds
+
+
+class TestHpfProperties:
+    @SLOW
+    @given(
+        params=world_params,
+        fraction=st.floats(min_value=0.2, max_value=1.0),
+    )
+    def test_subset_sizes_respect_fraction(self, params, fraction):
+        import math
+
+        seed, n_peers, degree = params
+        overlay = build_world(seed, n_peers, degree)
+        strategy = hpf_strategy(
+            overlay, np.random.default_rng(seed), fraction=fraction,
+            min_neighbors=1,
+        )
+        for peer in overlay.peers()[:5]:
+            nbrs = overlay.neighbors(peer)
+            targets = list(strategy(peer, None))
+            assert len(targets) <= len(nbrs)
+            assert len(targets) >= min(
+                len(nbrs), max(1, math.ceil(fraction * len(nbrs)))
+            )
+
+    @SLOW
+    @given(params=world_params)
+    def test_hpf_traffic_bounded_by_flooding(self, params):
+        seed, n_peers, degree = params
+        overlay = build_world(seed, n_peers, degree)
+        source = overlay.peers()[0]
+        flood = propagate(overlay, source, blind_flooding_strategy(overlay), ttl=None)
+        partial = propagate(
+            overlay, source,
+            hpf_strategy(overlay, np.random.default_rng(seed), fraction=0.5),
+            ttl=None,
+        )
+        assert partial.traffic_cost <= flood.traffic_cost + 1e-9
+
+
+class TestTwoTierProperties:
+    @SLOW
+    @given(
+        seed=st.integers(0, 10_000),
+        fraction=st.floats(min_value=0.15, max_value=0.5),
+    )
+    def test_full_coverage_any_fraction(self, seed, fraction):
+        from repro.topology.supernode import build_two_tier, two_tier_query
+
+        rng = np.random.default_rng(seed)
+        physical = barabasi_albert(200, m=2, rng=rng)
+        tt = build_two_tier(physical, 48, supernode_fraction=fraction, rng=rng)
+        assert tt.backbone.is_connected()
+        leaf = sorted(tt.leaf_parent)[0]
+        result = two_tier_query(tt, leaf, holders=[])
+        assert result.search_scope == tt.num_peers

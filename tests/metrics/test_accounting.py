@@ -1,0 +1,61 @@
+"""Unit tests for traffic accounting."""
+
+import pytest
+
+from repro.metrics.accounting import TrafficAccount, reduction_rate
+
+
+class TestTrafficAccount:
+    def test_record_query(self):
+        acct = TrafficAccount()
+        acct.record_query(100.0, messages=10, duplicates=3)
+        acct.record_query(50.0, messages=5)
+        assert acct.query_traffic == 150.0
+        assert acct.queries == 2
+        assert acct.query_messages == 15
+        assert acct.duplicate_messages == 3
+
+    def test_record_overhead(self):
+        acct = TrafficAccount()
+        acct.record_overhead(30.0)
+        acct.record_overhead(20.0)
+        assert acct.overhead_traffic == 50.0
+        assert acct.total_traffic == 50.0
+
+    def test_per_query_excludes_overhead_by_default(self):
+        acct = TrafficAccount()
+        acct.record_query(100.0)
+        acct.record_overhead(60.0)
+        assert acct.per_query_traffic() == 100.0
+
+    def test_per_query_amortizes_overhead(self):
+        acct = TrafficAccount()
+        acct.record_query(100.0)
+        acct.record_query(100.0)
+        acct.record_overhead(60.0)
+        assert acct.per_query_traffic(include_overhead=True) == pytest.approx(130.0)
+
+    def test_per_query_no_queries(self):
+        assert TrafficAccount().per_query_traffic() == 0.0
+
+    def test_merged(self):
+        a = TrafficAccount(query_traffic=10.0, overhead_traffic=1.0, queries=1)
+        b = TrafficAccount(query_traffic=20.0, overhead_traffic=2.0, queries=2)
+        m = a.merged_with(b)
+        assert m.query_traffic == 30.0
+        assert m.overhead_traffic == 3.0
+        assert m.queries == 3
+
+
+class TestReductionRate:
+    def test_basic(self):
+        assert reduction_rate(100.0, 50.0) == pytest.approx(0.5)
+
+    def test_no_reduction(self):
+        assert reduction_rate(100.0, 100.0) == 0.0
+
+    def test_negative_when_worse(self):
+        assert reduction_rate(100.0, 120.0) == pytest.approx(-0.2)
+
+    def test_zero_baseline_safe(self):
+        assert reduction_rate(0.0, 10.0) == 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for statistics collection."""
+
+import pytest
+
+from repro.metrics.collector import SeriesCollector, Summary, summarize
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_odd_median(self):
+        assert summarize([3.0, 1.0, 2.0]).median == 2.0
+
+    def test_std(self):
+        s = summarize([2.0, 4.0])
+        assert s.std == pytest.approx(1.0)
+
+    def test_empty(self):
+        s = summarize([])
+        assert s == Summary.empty()
+        assert s.count == 0
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.mean == 7.0
+        assert s.std == 0.0
+
+
+class TestSeriesCollector:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SeriesCollector(0)
+
+    def test_emits_window_means(self):
+        c = SeriesCollector(2)
+        assert c.add(1.0) is None
+        assert c.add(3.0) == pytest.approx(2.0)
+        assert c.add(5.0) is None
+        assert c.add(7.0) == pytest.approx(6.0)
+        assert c.points == [2.0, 6.0]
+
+    def test_pending(self):
+        c = SeriesCollector(3)
+        c.add(1.0)
+        assert c.pending == 1
+
+    def test_flush_partial_window(self):
+        c = SeriesCollector(4)
+        c.add(2.0)
+        c.add(4.0)
+        assert c.flush() == pytest.approx(3.0)
+        assert c.points == [3.0]
+        assert c.pending == 0
+
+    def test_flush_empty_is_none(self):
+        assert SeriesCollector(2).flush() is None
+
+    def test_points_returns_copy(self):
+        c = SeriesCollector(1)
+        c.add(1.0)
+        pts = c.points
+        pts.append(99.0)
+        assert c.points == [1.0]

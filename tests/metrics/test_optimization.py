@@ -1,0 +1,82 @@
+"""Unit tests for the optimization-rate (gain/penalty) analysis."""
+
+import math
+
+import pytest
+
+from repro.metrics.optimization import (
+    OptimizationTradeoff,
+    minimal_depth_for_gain,
+    optimization_rate,
+)
+
+
+class TestOptimizationRate:
+    def test_definition(self):
+        # gain = R * saving, penalty = overhead.
+        assert optimization_rate(50.0, 100.0, 2.0) == pytest.approx(1.0)
+        assert optimization_rate(50.0, 100.0, 4.0) == pytest.approx(2.0)
+
+    def test_scales_linearly_with_r(self):
+        base = optimization_rate(30.0, 90.0, 1.0)
+        assert optimization_rate(30.0, 90.0, 3.0) == pytest.approx(3 * base)
+
+    def test_zero_overhead_infinite(self):
+        assert math.isinf(optimization_rate(10.0, 0.0, 1.0))
+
+    def test_zero_overhead_zero_saving(self):
+        assert optimization_rate(0.0, 0.0, 1.0) == 0.0
+
+    def test_negative_r_rejected(self):
+        with pytest.raises(ValueError):
+            optimization_rate(10.0, 10.0, -1.0)
+
+
+def make_tradeoff(depth, baseline=100.0, optimized=60.0, overhead=80.0):
+    return OptimizationTradeoff(
+        depth=depth,
+        avg_degree=6.0,
+        baseline_traffic_per_query=baseline,
+        optimized_traffic_per_query=optimized,
+        overhead_per_reconstruction=overhead,
+    )
+
+
+class TestTradeoff:
+    def test_saving(self):
+        assert make_tradeoff(1).traffic_saved_per_query == pytest.approx(40.0)
+
+    def test_reduction_percent(self):
+        assert make_tradeoff(1).reduction_percent == pytest.approx(40.0)
+
+    def test_reduction_percent_zero_baseline(self):
+        t = make_tradeoff(1, baseline=0.0, optimized=0.0)
+        assert t.reduction_percent == 0.0
+
+    def test_rate(self):
+        t = make_tradeoff(1)
+        assert t.rate(2.0) == pytest.approx(2.0 * 40.0 / 80.0)
+
+
+class TestMinimalDepth:
+    def test_finds_smallest_profitable_depth(self):
+        tradeoffs = [
+            make_tradeoff(1, optimized=90.0, overhead=50.0),  # rate(2) = 0.4
+            make_tradeoff(2, optimized=60.0, overhead=50.0),  # rate(2) = 1.6
+            make_tradeoff(3, optimized=50.0, overhead=60.0),  # rate(2) = 1.67
+        ]
+        assert minimal_depth_for_gain(tradeoffs, 2.0) == 2
+
+    def test_none_when_never_profitable(self):
+        tradeoffs = [make_tradeoff(h, optimized=95.0, overhead=100.0) for h in (1, 2)]
+        assert minimal_depth_for_gain(tradeoffs, 1.0) is None
+
+    def test_paper_claim_r_grows_minimal_h_shrinks(self):
+        tradeoffs = [
+            make_tradeoff(1, optimized=80.0, overhead=50.0),  # saving 20
+            make_tradeoff(2, optimized=50.0, overhead=60.0),  # saving 50
+        ]
+        # At R = 1.5: h=1 rate 0.6, h=2 rate 1.25 -> minimal 2.
+        assert minimal_depth_for_gain(tradeoffs, 1.5) == 2
+        # At R = 3: h=1 rate 1.2 -> minimal 1.
+        assert minimal_depth_for_gain(tradeoffs, 3.0) == 1

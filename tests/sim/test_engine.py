@@ -1,0 +1,130 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import EventLoop
+
+
+class TestScheduling:
+    def test_schedule_and_step(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(5.0, lambda: fired.append("a"))
+        assert loop.step() is True
+        assert fired == ["a"]
+        assert loop.now == 5.0
+
+    def test_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(3.0, lambda: fired.append("late"))
+        loop.schedule_at(1.0, lambda: fired.append("early"))
+        loop.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for name in ("first", "second", "third"):
+            loop.schedule_at(2.0, lambda n=name: fired.append(n))
+        loop.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_schedule_in_relative(self):
+        loop = EventLoop(start_time=10.0)
+        fired = []
+        loop.schedule_in(2.5, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == [12.5]
+
+    def test_schedule_in_past_raises(self):
+        loop = EventLoop(start_time=10.0)
+        with pytest.raises(ValueError, match="past"):
+            loop.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EventLoop().schedule_in(-1.0, lambda: None)
+
+    def test_events_scheduled_during_execution(self):
+        loop = EventLoop()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            loop.schedule_in(1.0, lambda: fired.append("inner"))
+
+        loop.schedule_at(1.0, outer)
+        loop.run()
+        assert fired == ["outer", "inner"]
+        assert loop.now == 2.0
+
+
+class TestCancel:
+    def test_cancelled_event_skipped(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule_at(1.0, lambda: fired.append("x"))
+        loop.cancel(handle)
+        assert handle.cancelled
+        loop.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        loop = EventLoop()
+        handle = loop.schedule_at(1.0, lambda: None)
+        loop.run()
+        loop.cancel(handle)  # must not raise
+
+    def test_cancel_one_of_many(self):
+        loop = EventLoop()
+        fired = []
+        keep = loop.schedule_at(1.0, lambda: fired.append("keep"))
+        drop = loop.schedule_at(1.0, lambda: fired.append("drop"))
+        loop.cancel(drop)
+        loop.run()
+        assert fired == ["keep"]
+
+
+class TestRunUntil:
+    def test_stops_at_deadline(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(1.0, lambda: fired.append(1))
+        loop.schedule_at(5.0, lambda: fired.append(5))
+        loop.run_until(3.0)
+        assert fired == [1]
+        assert loop.now == 3.0
+        assert loop.pending == 1
+
+    def test_inclusive_boundary(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(3.0, lambda: fired.append(3))
+        loop.run_until(3.0)
+        assert fired == [3]
+
+    def test_clock_advances_without_events(self):
+        loop = EventLoop()
+        loop.run_until(7.0)
+        assert loop.now == 7.0
+
+
+class TestRun:
+    def test_drains_queue(self):
+        loop = EventLoop()
+        for t in range(5):
+            loop.schedule_at(float(t), lambda: None)
+        assert loop.run() == 5
+        assert loop.pending == 0
+        assert loop.processed == 5
+
+    def test_max_events(self):
+        loop = EventLoop()
+        for t in range(5):
+            loop.schedule_at(float(t), lambda: None)
+        assert loop.run(max_events=2) == 2
+        assert loop.pending == 3
+
+    def test_step_empty_returns_false(self):
+        assert EventLoop().step() is False

@@ -1,0 +1,91 @@
+"""Unit tests for the protocol message taxonomy."""
+
+import pytest
+
+from repro.sim.messages import (
+    GNUTELLA_HEADER_BYTES,
+    ConnectRequest,
+    CostProbe,
+    CostTableMessage,
+    DisconnectNotice,
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
+    wire_cost,
+)
+
+
+class TestSizes:
+    def test_header_size(self):
+        assert GNUTELLA_HEADER_BYTES == 23
+
+    def test_ping_is_header_only(self):
+        assert Ping(sender=0).size_bytes == 23
+
+    def test_pong_payload(self):
+        assert Pong(sender=0).size_bytes == 23 + 14
+
+    def test_query_bigger_than_ping(self):
+        assert Query(sender=0).size_bytes > Ping(sender=0).size_bytes
+
+    def test_query_hit_biggest_standard(self):
+        assert QueryHit(sender=0).size_bytes > Query(sender=0).size_bytes
+
+    def test_cost_table_scales_with_entries(self):
+        empty = CostTableMessage(sender=0, entries=())
+        three = CostTableMessage(
+            sender=0, entries=((1, 5.0), (2, 3.0), (3, 8.0))
+        )
+        assert empty.size_bytes == 23
+        assert three.size_bytes == 23 + 3 * CostTableMessage.ENTRY_BYTES
+
+
+class TestIdentity:
+    def test_guids_unique(self):
+        assert Ping(sender=0).guid != Ping(sender=0).guid
+
+    def test_kind_labels(self):
+        assert Ping(sender=0).kind == "ping"
+        assert CostProbe(sender=0).kind == "cost_probe"
+        assert ConnectRequest(sender=0).kind == "connect_request"
+        assert DisconnectNotice(sender=0).kind == "disconnect_notice"
+
+
+class TestForwarding:
+    def test_forwarded_decrements_ttl(self):
+        q = Query(sender=0, ttl=7, object_id=3)
+        fwd = q.forwarded_by(5)
+        assert fwd.ttl == 6
+        assert fwd.hops == 1
+        assert fwd.sender == 5
+        assert fwd.guid == q.guid
+        assert fwd.object_id == 3
+
+    def test_forward_at_zero_ttl_raises(self):
+        q = Query(sender=0, ttl=0)
+        with pytest.raises(ValueError, match="ttl"):
+            q.forwarded_by(1)
+
+    def test_chained_forwarding(self):
+        q = Query(sender=0, ttl=3)
+        q2 = q.forwarded_by(1).forwarded_by(2)
+        assert q2.ttl == 1
+        assert q2.hops == 2
+
+
+class TestWireCost:
+    def test_default_is_delay(self):
+        assert wire_cost(Ping(sender=0), 10.0) == pytest.approx(10.0)
+
+    def test_byte_factor_scales(self):
+        msg = Pong(sender=0)
+        cost = wire_cost(msg, 10.0, byte_factor=0.01)
+        assert cost == pytest.approx(10.0 * (1 + 0.01 * msg.size_bytes))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            wire_cost(Ping(sender=0), -1.0)
+
+    def test_zero_delay_free(self):
+        assert wire_cost(QueryHit(sender=0), 0.0) == 0.0

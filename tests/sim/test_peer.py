@@ -1,0 +1,70 @@
+"""Unit tests for per-peer session records."""
+
+import pytest
+
+from repro.sim.peer import PeerRecord
+
+
+class TestAddressCache:
+    def test_learn_and_list_most_recent_first(self):
+        rec = PeerRecord(peer_id=0, host=0)
+        rec.learn_addresses([1, 2, 3])
+        assert rec.cached_addresses() == [3, 2, 1]
+
+    def test_never_caches_self(self):
+        rec = PeerRecord(peer_id=0, host=0)
+        rec.learn_address(0)
+        assert rec.cached_addresses() == []
+
+    def test_relearn_moves_to_front(self):
+        rec = PeerRecord(peer_id=0, host=0)
+        rec.learn_addresses([1, 2, 3])
+        rec.learn_address(1)
+        assert rec.cached_addresses() == [1, 3, 2]
+
+    def test_capacity_eviction(self):
+        rec = PeerRecord(peer_id=0, host=0, cache_capacity=2)
+        rec.learn_addresses([1, 2, 3])
+        assert rec.cached_addresses() == [3, 2]
+
+
+class TestSessions:
+    def test_begin_session(self):
+        rec = PeerRecord(peer_id=0, host=0)
+        rec.begin_session(now=100.0, lifetime=50.0)
+        assert rec.alive
+        assert rec.joined_at == 100.0
+        assert rec.departs_at == 150.0
+        assert rec.sessions == 1
+
+    def test_end_session_keeps_cache(self):
+        rec = PeerRecord(peer_id=0, host=0)
+        rec.learn_address(5)
+        rec.begin_session(0.0, 10.0)
+        rec.end_session()
+        assert not rec.alive
+        assert rec.departs_at is None
+        assert rec.cached_addresses() == [5]
+
+    def test_double_begin_raises(self):
+        rec = PeerRecord(peer_id=0, host=0)
+        rec.begin_session(0.0, 10.0)
+        with pytest.raises(RuntimeError, match="already online"):
+            rec.begin_session(1.0, 10.0)
+
+    def test_end_offline_raises(self):
+        rec = PeerRecord(peer_id=0, host=0)
+        with pytest.raises(RuntimeError, match="not online"):
+            rec.end_session()
+
+    def test_nonpositive_lifetime_rejected(self):
+        rec = PeerRecord(peer_id=0, host=0)
+        with pytest.raises(ValueError, match="lifetime"):
+            rec.begin_session(0.0, 0.0)
+
+    def test_session_counter(self):
+        rec = PeerRecord(peer_id=0, host=0)
+        for _ in range(3):
+            rec.begin_session(0.0, 1.0)
+            rec.end_session()
+        assert rec.sessions == 3

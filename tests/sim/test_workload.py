@@ -1,0 +1,110 @@
+"""Unit tests for object placement and the query workload."""
+
+import numpy as np
+import pytest
+
+from repro.sim.workload import (
+    ObjectCatalog,
+    QueryWorkload,
+    WorkloadConfig,
+)
+
+
+@pytest.fixture
+def catalog(rng):
+    cfg = WorkloadConfig(num_objects=50, replicas_per_object=4)
+    return ObjectCatalog(list(range(100)), cfg, rng)
+
+
+class TestConfigValidation:
+    def test_defaults_are_paper_values(self):
+        cfg = WorkloadConfig()
+        assert cfg.queries_per_peer_per_min == pytest.approx(0.3)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(queries_per_peer_per_min=0.0)
+
+    def test_rejects_no_objects(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_objects=0)
+
+    def test_rejects_no_replicas(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(replicas_per_object=0)
+
+
+class TestCatalog:
+    def test_object_count(self, catalog):
+        assert catalog.num_objects == 50
+
+    def test_replica_counts(self, catalog):
+        for obj in range(catalog.num_objects):
+            assert len(catalog.holders_of(obj)) == 4
+
+    def test_holders_are_peers(self, catalog):
+        for obj in range(catalog.num_objects):
+            assert all(0 <= h < 100 for h in catalog.holders_of(obj))
+
+    def test_replicas_capped_by_population(self, rng):
+        cfg = WorkloadConfig(num_objects=3, replicas_per_object=10)
+        catalog = ObjectCatalog([1, 2, 3], cfg, rng)
+        assert all(len(catalog.holders_of(o)) == 3 for o in range(3))
+
+    def test_empty_population_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ObjectCatalog([], WorkloadConfig(), rng)
+
+    def test_zipf_popularity_skew(self, catalog, rng):
+        draws = [catalog.sample_object(rng) for _ in range(4000)]
+        counts = np.bincount(draws, minlength=50)
+        # Rank-0 objects must be drawn much more often than rank-40+.
+        assert counts[0] > 3 * counts[40:].mean()
+
+    def test_sampling_deterministic(self, catalog):
+        a = [catalog.sample_object(np.random.default_rng(3)) for _ in range(10)]
+        b = [catalog.sample_object(np.random.default_rng(3)) for _ in range(10)]
+        assert a == b
+
+
+class TestWorkload:
+    def test_interarrival_scales_inversely_with_population(self, catalog):
+        wl = QueryWorkload(catalog, np.random.default_rng(0))
+        small = np.mean([wl.next_interarrival(10) for _ in range(2000)])
+        wl2 = QueryWorkload(catalog, np.random.default_rng(0))
+        large = np.mean([wl2.next_interarrival(100) for _ in range(2000)])
+        assert small == pytest.approx(10 * large, rel=0.15)
+
+    def test_mean_matches_paper_rate(self, catalog):
+        wl = QueryWorkload(catalog, np.random.default_rng(1))
+        # 100 peers x 0.3 / min = 0.5 queries per second -> mean gap 2 s.
+        gaps = [wl.next_interarrival(100) for _ in range(4000)]
+        assert np.mean(gaps) == pytest.approx(2.0, rel=0.1)
+
+    def test_custom_rate(self, catalog):
+        wl = QueryWorkload(
+            catalog, np.random.default_rng(1), queries_per_peer_per_min=60.0
+        )
+        gaps = [wl.next_interarrival(1) for _ in range(2000)]
+        assert np.mean(gaps) == pytest.approx(1.0, rel=0.1)
+
+    def test_no_online_peers_rejected(self, catalog):
+        wl = QueryWorkload(catalog, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            wl.next_interarrival(0)
+        with pytest.raises(ValueError):
+            wl.next_query(0.0, [])
+
+    def test_query_event_fields(self, catalog):
+        wl = QueryWorkload(catalog, np.random.default_rng(0))
+        event = wl.next_query(12.5, [4, 5, 6])
+        assert event.time == 12.5
+        assert event.source in {4, 5, 6}
+        assert 0 <= event.object_id < catalog.num_objects
+
+    def test_sources_roughly_uniform(self, catalog):
+        wl = QueryWorkload(catalog, np.random.default_rng(0))
+        online = list(range(10))
+        sources = [wl.next_query(0.0, online).source for _ in range(3000)]
+        counts = np.bincount(sources, minlength=10)
+        assert counts.min() > 0.5 * counts.max()

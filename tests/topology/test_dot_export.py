@@ -1,0 +1,84 @@
+"""Unit tests for DOT export."""
+
+import numpy as np
+import pytest
+
+from repro.topology.dot_export import overlay_to_dot, physical_to_dot, write_dot
+from repro.topology.generators import grid
+from repro.topology.overlay import Overlay
+
+
+@pytest.fixture
+def small_world():
+    physical = grid(3, 3, delay=10.0)
+    ov = Overlay(physical, {0: 0, 1: 2, 2: 8})
+    ov.connect(0, 1)
+    ov.connect(1, 2)
+    return physical, ov
+
+
+class TestOverlayDot:
+    def test_structure(self, small_world):
+        _physical, ov = small_world
+        dot = overlay_to_dot(ov)
+        assert dot.startswith('graph "overlay" {')
+        assert dot.rstrip().endswith("}")
+        assert "0 -- 1" in dot
+        assert "1 -- 2" in dot
+
+    def test_costs_annotated(self, small_world):
+        _physical, ov = small_world
+        dot = overlay_to_dot(ov, show_costs=True)
+        assert f'label="{round(ov.cost(0, 1), 1)}"' in dot
+
+    def test_costs_suppressed(self, small_world):
+        _physical, ov = small_world
+        dot = overlay_to_dot(ov, show_costs=False)
+        assert "0 -- 1;" in dot
+
+    def test_as_coloring(self, small_world):
+        _physical, ov = small_world
+        labels = np.array([0, 0, 1, 1, 1, 1, 2, 2, 2])
+        dot = overlay_to_dot(ov, as_labels=labels)
+        assert "fillcolor=" in dot
+        assert 'tooltip="AS 0"' in dot
+        assert 'tooltip="AS 2"' in dot
+
+    def test_highlighting(self, small_world):
+        _physical, ov = small_world
+        dot = overlay_to_dot(ov, highlight_edges=[(1, 0)])
+        assert "color=red" in dot
+        # Only one of the two edges highlighted.
+        assert dot.count("penwidth=2.5") == 1
+
+    def test_every_peer_declared(self, small_world):
+        _physical, ov = small_world
+        dot = overlay_to_dot(ov)
+        for peer in ov.peers():
+            assert f'  {peer} [label="{peer}"' in dot
+
+
+class TestPhysicalDot:
+    def test_structure(self, small_world):
+        physical, _ov = small_world
+        dot = physical_to_dot(physical)
+        assert dot.startswith('graph "underlay" {')
+        assert "0 -- 1" in dot
+
+    def test_positions_from_coordinates(self, small_world):
+        physical, _ov = small_world
+        dot = physical_to_dot(physical)
+        assert "pos=" in dot
+
+    def test_size_cap(self):
+        big = grid(25, 25)
+        with pytest.raises(ValueError, match="max_nodes"):
+            physical_to_dot(big, max_nodes=100)
+        assert physical_to_dot(big, max_nodes=1000)
+
+
+class TestWriteDot:
+    def test_roundtrip(self, small_world, tmp_path):
+        _physical, ov = small_world
+        path = write_dot(overlay_to_dot(ov), tmp_path / "g.dot")
+        assert path.read_text().startswith("graph")

@@ -1,0 +1,206 @@
+"""Unit tests for the physical underlay."""
+
+import numpy as np
+import pytest
+
+from repro.topology.physical import PhysicalTopology
+
+
+def make_line(delays=(1.0, 2.0, 3.0, 4.0)):
+    edges = [(i, i + 1) for i in range(len(delays))]
+    return PhysicalTopology(len(delays) + 1, edges, list(delays))
+
+
+class TestConstruction:
+    def test_node_and_edge_counts(self):
+        topo = make_line()
+        assert topo.num_nodes == 5
+        assert topo.num_edges == 4
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            PhysicalTopology(0, [], [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="same length"):
+            PhysicalTopology(3, [(0, 1)], [1.0, 2.0])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError, match="out of range"):
+            PhysicalTopology(2, [(0, 5)], [1.0])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            PhysicalTopology(2, [(1, 1)], [1.0])
+
+    def test_rejects_nonpositive_delay(self):
+        with pytest.raises(ValueError, match="positive"):
+            PhysicalTopology(2, [(0, 1)], [0.0])
+        with pytest.raises(ValueError, match="positive"):
+            PhysicalTopology(2, [(0, 1)], [-3.0])
+
+    def test_duplicate_edges_keep_cheaper(self):
+        topo = PhysicalTopology(2, [(0, 1), (1, 0)], [5.0, 2.0])
+        assert topo.num_edges == 1
+        assert topo.link_delay(0, 1) == 2.0
+
+    def test_rejects_bad_coordinate_shape(self):
+        with pytest.raises(ValueError, match="coordinates"):
+            PhysicalTopology(3, [(0, 1)], [1.0], coordinates=np.zeros((2, 2)))
+
+    def test_coordinates_stored(self):
+        coords = np.arange(6, dtype=float).reshape(3, 2)
+        topo = PhysicalTopology(3, [(0, 1)], [1.0], coordinates=coords)
+        assert np.array_equal(topo.coordinates, coords)
+
+
+class TestAccessors:
+    def test_neighbors_sorted_tuples(self):
+        topo = make_line()
+        assert topo.neighbors(0) == (1,)
+        assert topo.neighbors(2) == (1, 3)
+
+    def test_degree(self):
+        topo = make_line()
+        assert topo.degree(0) == 1
+        assert topo.degree(2) == 2
+
+    def test_degrees_array(self):
+        topo = make_line()
+        assert list(topo.degrees()) == [1, 2, 2, 2, 1]
+
+    def test_has_edge_both_orientations(self):
+        topo = make_line()
+        assert topo.has_edge(0, 1)
+        assert topo.has_edge(1, 0)
+        assert not topo.has_edge(0, 2)
+
+    def test_link_delay(self):
+        topo = make_line()
+        assert topo.link_delay(2, 3) == 3.0
+        assert topo.link_delay(3, 2) == 3.0
+
+    def test_link_delay_missing_raises(self):
+        topo = make_line()
+        with pytest.raises(KeyError):
+            topo.link_delay(0, 4)
+
+    def test_edges_iteration(self):
+        topo = make_line()
+        edges = sorted(topo.edges())
+        assert edges == [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0)]
+
+    def test_nodes_iteration(self):
+        assert list(make_line().nodes()) == [0, 1, 2, 3, 4]
+
+
+class TestShortestPaths:
+    def test_delay_is_path_sum(self):
+        topo = make_line()
+        assert topo.delay(0, 4) == pytest.approx(10.0)
+        assert topo.delay(1, 3) == pytest.approx(5.0)
+
+    def test_delay_zero_to_self(self):
+        assert make_line().delay(2, 2) == 0.0
+
+    def test_delay_symmetric(self):
+        topo = make_line()
+        assert topo.delay(0, 3) == topo.delay(3, 0)
+
+    def test_delay_prefers_cheaper_route(self):
+        # Triangle where the direct link is longer than the detour.
+        topo = PhysicalTopology(3, [(0, 1), (1, 2), (0, 2)], [1.0, 1.0, 5.0])
+        assert topo.delay(0, 2) == pytest.approx(2.0)
+
+    def test_delays_from_vector(self):
+        topo = make_line()
+        vec = topo.delays_from(0)
+        assert list(vec) == [0.0, 1.0, 3.0, 6.0, 10.0]
+
+    def test_delays_from_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            make_line().delays_from(99)
+
+    def test_unreachable_is_inf(self):
+        topo = PhysicalTopology(4, [(0, 1), (2, 3)], [1.0, 1.0])
+        assert np.isinf(topo.delay(0, 3))
+
+    def test_path_endpoints_and_cost(self):
+        topo = make_line()
+        path = topo.path(0, 3)
+        assert path[0] == 0 and path[-1] == 3
+        assert topo.path_delay(path) == pytest.approx(topo.delay(0, 3))
+
+    def test_path_to_self(self):
+        assert make_line().path(2, 2) == [2]
+
+    def test_path_unreachable_raises(self):
+        topo = PhysicalTopology(4, [(0, 1), (2, 3)], [1.0, 1.0])
+        with pytest.raises(ValueError, match="unreachable"):
+            topo.path(0, 2)
+
+    def test_path_takes_cheaper_route(self):
+        topo = PhysicalTopology(3, [(0, 1), (1, 2), (0, 2)], [1.0, 1.0, 5.0])
+        assert topo.path(0, 2) == [0, 1, 2]
+
+    def test_cache_eviction_does_not_change_results(self):
+        topo = PhysicalTopology(
+            6,
+            [(i, i + 1) for i in range(5)],
+            [1.0] * 5,
+            cache_size=2,
+        )
+        first = [topo.delay(s, 5) for s in range(5)]
+        second = [topo.delay(s, 5) for s in range(5)]
+        assert first == second == [5.0, 4.0, 3.0, 2.0, 1.0]
+
+    def test_delay_uses_either_cached_endpoint(self):
+        topo = make_line()
+        topo.delays_from(4)
+        # 0 is not cached; the 4-rooted cache must serve (0, 4) correctly.
+        assert topo.delay(0, 4) == pytest.approx(10.0)
+
+
+class TestConnectivity:
+    def test_connected_line(self):
+        assert make_line().is_connected()
+
+    def test_disconnected_pair(self):
+        topo = PhysicalTopology(4, [(0, 1), (2, 3)], [1.0, 1.0])
+        assert not topo.is_connected()
+
+    def test_component_labels(self):
+        topo = PhysicalTopology(4, [(0, 1), (2, 3)], [1.0, 1.0])
+        labels = topo.component_labels()
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_largest_component(self):
+        topo = PhysicalTopology(5, [(0, 1), (1, 2), (3, 4)], [1.0] * 3)
+        assert topo.largest_component_nodes() == [0, 1, 2]
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self):
+        topo = make_line()
+        back = PhysicalTopology.from_networkx(topo.to_networkx())
+        assert back.num_nodes == topo.num_nodes
+        assert sorted(back.edges()) == sorted(topo.edges())
+
+    def test_from_networkx_requires_contiguous_labels(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(0, 5)
+        with pytest.raises(ValueError, match="0..n-1"):
+            PhysicalTopology.from_networkx(g)
+
+    def test_from_networkx_default_weight(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(2))
+        g.add_edge(0, 1)
+        topo = PhysicalTopology.from_networkx(g)
+        assert topo.link_delay(0, 1) == 1.0

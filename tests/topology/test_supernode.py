@@ -1,0 +1,126 @@
+"""Unit tests for the two-tier (supernode) overlay."""
+
+import numpy as np
+import pytest
+
+from repro.core.ace import AceProtocol
+from repro.search.tree_routing import ace_strategy
+from repro.topology.supernode import build_two_tier, two_tier_query
+
+
+@pytest.fixture(scope="module")
+def two_tier():
+    from repro.topology.generators import barabasi_albert
+
+    rng = np.random.default_rng(21)
+    physical = barabasi_albert(500, m=2, rng=rng)
+    return build_two_tier(physical, 120, supernode_fraction=0.25, rng=rng)
+
+
+class TestConstruction:
+    def test_tier_sizes(self, two_tier):
+        assert two_tier.num_supernodes == 30
+        assert two_tier.num_leaves == 90
+        assert two_tier.num_peers == 120
+
+    def test_backbone_connected(self, two_tier):
+        assert two_tier.backbone.is_connected()
+
+    def test_every_leaf_has_a_supernode(self, two_tier):
+        for leaf in two_tier.leaf_parent:
+            assert two_tier.backbone.has_peer(two_tier.leaf_parent[leaf])
+            assert not two_tier.backbone.has_peer(leaf)
+
+    def test_supernodes_are_highest_capacity(self, two_tier):
+        super_caps = [
+            two_tier.capacities[p] for p in two_tier.backbone.peers()
+        ]
+        leaf_caps = [two_tier.capacities[p] for p in two_tier.leaf_parent]
+        assert min(super_caps) >= max(leaf_caps)
+
+    def test_supernode_of(self, two_tier):
+        sn = two_tier.backbone.peers()[0]
+        assert two_tier.supernode_of(sn) == sn
+        leaf = sorted(two_tier.leaf_parent)[0]
+        assert two_tier.supernode_of(leaf) == two_tier.leaf_parent[leaf]
+
+    def test_leaves_of_inverse(self, two_tier):
+        leaf = sorted(two_tier.leaf_parent)[0]
+        assert leaf in two_tier.leaves_of(two_tier.leaf_parent[leaf])
+
+    def test_leaf_link_cost_positive(self, two_tier):
+        leaf = sorted(two_tier.leaf_parent)[0]
+        assert two_tier.leaf_link_cost(leaf) >= 0
+
+    def test_validation(self):
+        from repro.topology.generators import grid
+
+        physical = grid(6, 6)
+        with pytest.raises(ValueError):
+            build_two_tier(physical, 20, supernode_fraction=0.0)
+        with pytest.raises(ValueError):
+            build_two_tier(physical, 20, supernode_fraction=1.0)
+
+    def test_deterministic(self):
+        from repro.topology.generators import barabasi_albert
+
+        worlds = []
+        for _ in range(2):
+            rng = np.random.default_rng(9)
+            physical = barabasi_albert(300, m=2, rng=np.random.default_rng(1))
+            worlds.append(build_two_tier(physical, 60, rng=rng))
+        assert sorted(worlds[0].backbone.edges()) == sorted(
+            worlds[1].backbone.edges()
+        )
+        assert worlds[0].leaf_parent == worlds[1].leaf_parent
+
+
+class TestQueries:
+    def test_full_coverage(self, two_tier):
+        leaf = sorted(two_tier.leaf_parent)[0]
+        result = two_tier_query(two_tier, leaf, holders=[])
+        assert result.search_scope == two_tier.num_peers
+        assert result.supernodes_reached == frozenset(
+            two_tier.backbone.peers()
+        )
+
+    def test_uplink_charged_for_leaves(self, two_tier):
+        leaf = sorted(two_tier.leaf_parent)[0]
+        result = two_tier_query(two_tier, leaf, holders=[])
+        assert result.uplink_cost > 0 or two_tier.leaf_link_cost(leaf) == 0
+
+    def test_no_uplink_for_supernode_source(self, two_tier):
+        sn = two_tier.backbone.peers()[0]
+        result = two_tier_query(two_tier, sn, holders=[])
+        assert result.uplink_cost == 0.0
+        assert result.entry_supernode == sn
+
+    def test_finds_leaf_held_objects(self, two_tier):
+        leaf = sorted(two_tier.leaf_parent)[0]
+        holder = sorted(two_tier.leaf_parent)[-1]
+        result = two_tier_query(two_tier, leaf, holders=[holder])
+        assert result.success
+        assert holder in result.holders_found
+
+    def test_source_not_a_responder(self, two_tier):
+        leaf = sorted(two_tier.leaf_parent)[0]
+        result = two_tier_query(two_tier, leaf, holders=[leaf])
+        assert not result.success
+
+    def test_ttl_limits_backbone(self, two_tier):
+        sn = two_tier.backbone.peers()[0]
+        limited = two_tier_query(two_tier, sn, holders=[], ttl=1)
+        assert len(limited.supernodes_reached) < two_tier.num_supernodes
+
+
+class TestAceOnBackbone:
+    def test_ace_reduces_supernode_traffic(self, two_tier):
+        leaf = sorted(two_tier.leaf_parent)[0]
+        before = two_tier_query(two_tier, leaf, holders=[])
+        protocol = AceProtocol(two_tier.backbone, rng=np.random.default_rng(3))
+        protocol.run(5)
+        after = two_tier_query(
+            two_tier, leaf, holders=[], strategy=ace_strategy(protocol)
+        )
+        assert after.traffic_cost < before.traffic_cost
+        assert after.search_scope == before.search_scope
