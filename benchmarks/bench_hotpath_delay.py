@@ -1,0 +1,135 @@
+"""Hot-path micro-benchmark: cold vs. warmed vs. batched delay lookups.
+
+Every paper metric reduces to underlay shortest-path delays, so this bench
+measures the delay/cost pipeline directly (see ``docs/PERFORMANCE.md``):
+
+* **cold lookups** — the seed code path: each distinct source faults a
+  single-source Dijkstra through an LRU too small for the working set, so a
+  repeated round-robin workload thrashes and recomputes endlessly;
+* **warmed lookups** — the same workload after ``warm(sources)`` prefetched
+  the working set with batched Dijkstra calls: pure dict hits;
+* **query workload** — full ``propagate()`` floods on a cold vs. a warmed
+  overlay, with queries/sec from the perf counters.
+
+The acceptance bar for the batching/caching overhaul is a >= 5x speedup of
+the repeated-lookup workload on a warmed engine; the bench asserts it.
+"""
+
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from conftest import report
+
+from repro.experiments.setup import ScenarioConfig, build_scenario
+from repro.perf import counters, reset_counters
+from repro.search.flooding import blind_flooding_strategy, propagate
+from repro.topology.generators import barabasi_albert
+
+#: Distinct sources in the repeated-lookup workload (> the seed's 128 LRU).
+N_SOURCES = 192
+#: Round-robin passes over the source set.
+ROUNDS = 3
+UNDERLAY_NODES = 1200
+SEED = 1234
+
+
+def _fresh_underlay(cache_size: int = 128):
+    rng = np.random.default_rng(SEED)
+    return barabasi_albert(UNDERLAY_NODES, m=2, rng=rng, cache_size=cache_size)
+
+
+def _lookup_workload(topo, sources, targets) -> float:
+    start = perf_counter()
+    for _ in range(ROUNDS):
+        for s, t in zip(sources, targets):
+            topo.delay(s, t)
+    return perf_counter() - start
+
+
+def test_hotpath_repeated_lookups_warmed_vs_cold(capsys):
+    rng = np.random.default_rng(SEED + 1)
+    sources = list(rng.choice(UNDERLAY_NODES, size=N_SOURCES, replace=False))
+    targets = list(rng.integers(0, UNDERLAY_NODES, size=N_SOURCES))
+
+    # Seed code path: working set larger than the LRU, no prefetch — the
+    # round-robin sweep evicts every source before its next use.
+    cold_topo = _fresh_underlay(cache_size=128)
+    reset_counters()
+    cold_time = _lookup_workload(cold_topo, sources, targets)
+    cold_runs = counters.dijkstra_runs
+
+    # Batched engine: one warm() call makes the whole set resident.
+    warm_topo = _fresh_underlay(cache_size=128)
+    reset_counters()
+    warm_start = perf_counter()
+    solved = warm_topo.warm(sources)
+    warm_setup = perf_counter() - warm_start
+    warm_batches = counters.dijkstra_runs
+    warmed_time = _lookup_workload(warm_topo, sources, targets)
+    warmed_runs = counters.dijkstra_runs - warm_batches
+
+    lookups = ROUNDS * N_SOURCES
+    speedup = cold_time / warmed_time if warmed_time > 0 else float("inf")
+    report(capsys, "\n".join([
+        "Hot-path delay lookups "
+        f"({UNDERLAY_NODES}-node underlay, {N_SOURCES} sources x {ROUNDS} rounds):",
+        f"  cold (seed path):   {cold_time:.3f}s "
+        f"({lookups / cold_time:,.0f} lookups/s, {cold_runs} dijkstra runs)",
+        f"  warm() prefetch:    {warm_setup:.3f}s "
+        f"({solved} sources in {warm_batches} batched runs)",
+        f"  warmed lookups:     {warmed_time:.4f}s "
+        f"({lookups / warmed_time:,.0f} lookups/s, {warmed_runs} dijkstra runs)",
+        f"  speedup (warmed vs cold): {speedup:,.0f}x",
+    ]))
+
+    assert warmed_runs == 0
+    assert speedup >= 5.0
+
+
+def test_hotpath_query_throughput_warmed_vs_cold(capsys):
+    config = ScenarioConfig(physical_nodes=1200, peers=160, avg_degree=6, seed=SEED)
+
+    def run_pass(overlay, sources) -> float:
+        strategy = blind_flooding_strategy(overlay)
+        start = perf_counter()
+        for s in sources:
+            propagate(overlay, s, strategy, ttl=None)
+        return perf_counter() - start
+
+    # Cold arm: fresh world, queries fault their costs on demand (seed path).
+    cold = build_scenario(config)
+    sources = cold.overlay.peers()[:32]
+    reset_counters()
+    cold_first = run_pass(cold.overlay, sources)
+    cold_runs = counters.dijkstra_runs
+
+    # Warmed arm: identical world, edge costs bulk-filled first.
+    warm = build_scenario(config)
+    reset_counters()
+    warm_start = perf_counter()
+    filled = warm.overlay.warm_edge_costs()
+    warm_setup = perf_counter() - warm_start
+    setup_runs = counters.dijkstra_runs
+    warm_first = run_pass(warm.overlay, sources)
+    warm_steady = run_pass(warm.overlay, sources)
+    in_loop_runs = counters.dijkstra_runs - setup_runs
+    qps = counters.queries_per_second
+
+    first_speedup = cold_first / warm_first if warm_first > 0 else float("inf")
+    report(capsys, "\n".join([
+        f"Full query propagation ({config.peers} peers, {len(sources)} queries/pass):",
+        f"  cold first pass:    {cold_first:.3f}s ({cold_runs} dijkstra runs)",
+        f"  warm_edge_costs():  {warm_setup:.3f}s "
+        f"({filled} edges in {setup_runs} batched runs)",
+        f"  warmed first pass:  {warm_first:.3f}s (0 in-loop dijkstra runs)",
+        f"  warmed steady pass: {warm_steady:.3f}s",
+        f"  warmed queries/sec: {qps:,.0f}",
+        f"  first-pass speedup: {first_speedup:.1f}x",
+    ]))
+
+    # Perf counters confirm the acceptance criterion: zero in-loop Dijkstra
+    # runs during propagate() on a warmed static overlay.
+    assert in_loop_runs == 0
+    assert counters.queries == 2 * len(sources)

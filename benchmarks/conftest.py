@@ -20,8 +20,8 @@ import pytest
 
 from repro.experiments.depth_sweep import DepthSweepConfig, run_depth_sweep
 from repro.experiments.dynamic_env import DynamicConfig, run_dynamic_experiment
-from repro.experiments.setup import ScenarioConfig, build_scenario
-from repro.experiments.static_env import run_static_experiment
+from repro.experiments.setup import ScenarioConfig, build_scenario, repro_workers
+from repro.experiments.static_env import run_static_trials
 
 #: Average-neighbor counts swept in Figures 7, 8, 11 and 12.
 DEGREES = (4, 6, 8, 10)
@@ -44,22 +44,26 @@ def report(capsys, text: str) -> None:
 
 
 def static_series():
-    """Figure 7/8 series: one static convergence run per average degree."""
+    """Figure 7/8 series: one static convergence run per average degree.
+
+    The per-degree trials are independent, so they fan out over a process
+    pool when ``REPRO_WORKERS`` > 1; each worker rebuilds its world from the
+    seeded config (no topology pickling).
+    """
     if "static" not in _cache:
-        series = {}
-        for degree in DEGREES:
-            scenario = build_scenario(
-                ScenarioConfig(
-                    physical_nodes=BASE.physical_nodes,
-                    peers=BASE.peers,
-                    avg_degree=float(degree),
-                    seed=BASE.seed,
-                )
+        configs = [
+            ScenarioConfig(
+                physical_nodes=BASE.physical_nodes,
+                peers=BASE.peers,
+                avg_degree=float(degree),
+                seed=BASE.seed,
             )
-            series[degree] = run_static_experiment(
-                scenario, steps=10, query_samples=16
-            )
-        _cache["static"] = series
+            for degree in DEGREES
+        ]
+        results = run_static_trials(
+            configs, steps=10, query_samples=16, max_workers=repro_workers()
+        )
+        _cache["static"] = dict(zip(DEGREES, results))
     return _cache["static"]
 
 

@@ -55,6 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=1, help="RNG seed")
         p.add_argument("--json", dest="json_path", default=None,
                        help="also write the result object to this JSON file")
+        p.add_argument("--perf", action="store_true",
+                       help="print engine perf counters (Dijkstra runs, "
+                            "cache hit rates, queries/sec) after the run")
 
     p_static = sub.add_parser("static", help="Figures 7-8 (static convergence)")
     add_world_args(p_static)
@@ -89,6 +92,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_walk.add_argument("--depth", type=int, default=None,
                         help="closure depth (omit for blind flooding)")
     p_walk.add_argument("--source", default="F", help="query source peer")
+    p_walk.add_argument("--perf", action="store_true",
+                        help="print engine perf counters after the run")
 
     p_topo = sub.add_parser("topology", help="Section 4.1 validation")
     add_world_args(p_topo, peers=200)
@@ -281,9 +286,15 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
+    from .perf import counters
+
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    counters.reset()
+    code = _COMMANDS[args.command](args, out)
+    if getattr(args, "perf", False):
+        print(counters.format(), file=out)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

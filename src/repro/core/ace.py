@@ -360,6 +360,12 @@ class AceProtocol:
             peers = self.overlay.peers()
         order = list(peers)
         self.rng.shuffle(order)
+        # Pre-warm the exact cost working set of this step in one batched
+        # underlay solve: every Phase-1 probe is a logical-edge cost, so
+        # bulk-filling the edge-cost cache up front turns the per-peer inner
+        # loops into pure dict lookups (edges created mid-step are filled
+        # lazily and swept up by the next step's warm).
+        self.overlay.warm_edge_costs()
         report = StepReport(step_index=self._steps_run)
         for peer in order:
             if not self.overlay.has_peer(peer):

@@ -117,7 +117,12 @@ def run_phase1(
     Builds the cost table of every closure member (they all probe their own
     neighbors) and accounts the overhead the *source's* optimization incurs:
     its own probes plus the dissemination of member tables to it.
+
+    Member probes are exactly logical-edge costs, so the overlay's bulk
+    edge-cost warm (one batched underlay solve for everything missing) runs
+    first; the per-member table builds below then hit the cache.
     """
+    overlay.warm_edge_costs()
     tables: Dict[int, NeighborCostTable] = {
         m: build_cost_table(overlay, m) for m in closure.members
     }

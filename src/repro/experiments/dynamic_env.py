@@ -123,6 +123,10 @@ def run_dynamic_experiment(
     churn = _build_churn(scenario, config, rng)
     churn.start_initial_sessions(now=0.0)
     overlay = scenario.overlay
+    # Bulk-fill the edge-cost cache for the initial topology; churn and ACE
+    # keep it consistent through the overlay's mutation hooks, and rewired
+    # edges are re-warmed by each ACE round.
+    overlay.warm_edge_costs()
     workload = QueryWorkload(scenario.catalog, rng)
 
     protocol: Optional[AceProtocol] = None

@@ -26,7 +26,13 @@ from ..topology.overlay import (
 )
 from ..topology.physical import PhysicalTopology
 
-__all__ = ["ScenarioConfig", "Scenario", "build_scenario", "repro_scale"]
+__all__ = [
+    "ScenarioConfig",
+    "Scenario",
+    "build_scenario",
+    "repro_scale",
+    "repro_workers",
+]
 
 _UNDERLAY_CACHE = 512  # single-source Dijkstra results kept per underlay
 
@@ -59,6 +65,27 @@ def repro_scale(default: float = 1.0) -> float:
         raise ValueError(f"REPRO_SCALE must be a number, got {raw!r}") from None
     if value <= 0:
         raise ValueError("REPRO_SCALE must be positive")
+    return value
+
+
+def repro_workers(default: int = 1) -> int:
+    """The ``REPRO_WORKERS`` knob: worker processes for per-trial fan-out.
+
+    ``1`` (the default) runs trials inline in this process — deterministic
+    and fork-free, the right choice for tests.  Larger values let the
+    experiment drivers spread independent trials over a process pool; each
+    worker rebuilds its world from the (small, picklable)
+    :class:`ScenarioConfig`, so no topology is ever pickled.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ValueError("REPRO_WORKERS must be >= 1")
     return value
 
 

@@ -11,6 +11,11 @@ steps."
 average full-coverage traffic cost and average response time over a sample of
 queries.  Step 0 is the unoptimized overlay under blind flooding — the
 baseline both figures normalize against.
+
+:func:`run_static_trials` fans independent trials (different configs/seeds)
+out over a process pool: each worker rebuilds its scenario from the small,
+picklable :class:`~repro.experiments.setup.ScenarioConfig`, so the big
+topology objects never cross a process boundary.
 """
 
 from __future__ import annotations
@@ -24,9 +29,14 @@ from ..core.ace import AceConfig, AceProtocol
 from ..search.flooding import blind_flooding_strategy, run_query
 from ..search.tree_routing import ace_strategy
 from ..sim.workload import ObjectCatalog
-from .setup import Scenario
+from .setup import Scenario, ScenarioConfig, build_scenario, repro_workers
 
-__all__ = ["StaticSeries", "measure_queries", "run_static_experiment"]
+__all__ = [
+    "StaticSeries",
+    "measure_queries",
+    "run_static_experiment",
+    "run_static_trials",
+]
 
 
 @dataclass
@@ -113,6 +123,12 @@ def run_static_experiment(
     source_idx = rng.integers(0, len(peers), size=query_samples)
     sources = [peers[int(i)] for i in source_idx]
 
+    # Pre-warm the exact working set the run will touch: all logical edge
+    # costs (one batched underlay solve) and the delay vectors rooted at the
+    # fixed query sources, so measurement never faults a Dijkstra mid-query.
+    overlay.warm_edge_costs()
+    overlay.warm_sources(sources)
+
     series = StaticSeries(avg_degree=overlay.average_degree())
 
     query_rng = np.random.default_rng(scenario.config.seed + 0xCAFE)
@@ -139,3 +155,46 @@ def run_static_experiment(
         series.search_scope.append(scope)
         series.step_overhead.append(report.total_overhead)
     return series
+
+
+def _static_trial(payload: Tuple) -> StaticSeries:
+    """Worker entry point: rebuild the world from its config and run it."""
+    config, steps, ace_config, query_samples, ttl = payload
+    scenario = build_scenario(config)
+    return run_static_experiment(
+        scenario,
+        steps=steps,
+        ace_config=ace_config,
+        query_samples=query_samples,
+        ttl=ttl,
+    )
+
+
+def run_static_trials(
+    configs: Sequence[ScenarioConfig],
+    steps: int = 10,
+    ace_config: Optional[AceConfig] = None,
+    query_samples: int = 32,
+    ttl: Optional[int] = None,
+    max_workers: Optional[int] = None,
+) -> List[StaticSeries]:
+    """Run one static experiment per config, fanning out over processes.
+
+    Each trial is independent (its own scenario, rebuilt from seed inside
+    the worker), so results are identical whatever the worker count.
+    *max_workers* defaults to the ``REPRO_WORKERS`` environment knob; ``1``
+    runs everything inline in this process.
+    """
+    payloads = [
+        (config, steps, ace_config, query_samples, ttl) for config in configs
+    ]
+    workers = repro_workers() if max_workers is None else max_workers
+    if workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    workers = min(workers, len(payloads))
+    if workers <= 1:
+        return [_static_trial(p) for p in payloads]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_static_trial, payloads))

@@ -3,9 +3,14 @@
 Traffic cost, search scope and response time come straight out of
 :class:`~repro.search.flooding.QueryResult`; this package adds the
 bookkeeping around them: traffic accounting, optimization-rate analysis and
-windowed series collection for the dynamic experiments.
+windowed series collection for the dynamic experiments.  The engine-level
+performance counters (Dijkstra runs, cache hit rates, queries/sec — see
+:mod:`repro.perf` and ``docs/PERFORMANCE.md``) are re-exported here as
+:data:`perf_counters` so metric consumers can read simulation throughput
+alongside the paper's metrics.
 """
 
+from ..perf import PerfCounters, counters as perf_counters
 from .accounting import TrafficAccount, reduction_rate
 from .collector import SeriesCollector, Summary, summarize
 from .optimization import (
@@ -23,4 +28,6 @@ __all__ = [
     "OptimizationTradeoff",
     "optimization_rate",
     "minimal_depth_for_gain",
+    "PerfCounters",
+    "perf_counters",
 ]

@@ -1,0 +1,130 @@
+"""Process-wide performance counters for the delay/cost hot path.
+
+Every metric in the paper's evaluation reduces to underlay shortest-path
+delays, so simulation throughput is dominated by how often the delay engine
+has to fall back to a real Dijkstra run.  This module provides cheap global
+counters that the engine layers increment as they work:
+
+* :class:`PhysicalTopology <repro.topology.physical.PhysicalTopology>` counts
+  Dijkstra invocations (``dijkstra_runs``), how many single-source solves
+  those invocations performed in total (``dijkstra_sources``, > runs when the
+  batched path is used), and hits/misses of the per-source distance LRU.
+* :class:`Overlay <repro.topology.overlay.Overlay>` counts hits/misses of the
+  persistent logical edge-cost cache that ``propagate()`` reads in its inner
+  loop.
+* :func:`propagate <repro.search.flooding.propagate>` counts queries and
+  accumulates wall-clock time, so ``queries_per_second`` reports end-to-end
+  simulation throughput.
+
+Counters are plain module-global state: increments are cheap, and the
+process-per-trial experiment fan-out keeps each worker's counters isolated.
+Use :func:`reset_counters` (or ``counters.reset()``) at the start of a
+measurement region and :meth:`PerfCounters.snapshot` / ``counters - before``
+style deltas at the end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Union
+
+__all__ = ["PerfCounters", "counters", "get_counters", "reset_counters"]
+
+
+@dataclass
+class PerfCounters:
+    """Mutable bag of hot-path counters (see module docstring)."""
+
+    #: Number of scipy ``dijkstra`` invocations (one per batch or single run).
+    dijkstra_runs: int = 0
+    #: Total single-source solves performed across all invocations.
+    dijkstra_sources: int = 0
+    #: Largest number of sources solved by one batched invocation.
+    largest_batch: int = 0
+    #: Distance-vector LRU hits (a ``delays_from``/``delay`` served cached).
+    delay_cache_hits: int = 0
+    #: Distance-vector LRU misses (a lookup that forced a Dijkstra run).
+    delay_cache_misses: int = 0
+    #: Logical edge costs served from the per-overlay edge-cost cache.
+    edge_cost_hits: int = 0
+    #: Logical edge costs that had to be computed (then memoized).
+    edge_cost_misses: int = 0
+    #: Completed :func:`~repro.search.flooding.propagate` simulations.
+    queries: int = 0
+    #: Wall-clock seconds spent inside ``propagate``.
+    query_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queries_per_second(self) -> float:
+        """End-to-end propagation throughput (0 when nothing ran)."""
+        if self.query_seconds <= 0.0:
+            return 0.0
+        return self.queries / self.query_seconds
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, f.default)
+
+    def snapshot(self) -> Dict[str, Union[int, float]]:
+        """Immutable copy of the current values (plus derived throughput)."""
+        out: Dict[str, Union[int, float]] = dataclasses.asdict(self)
+        out["queries_per_second"] = self.queries_per_second
+        return out
+
+    def delta(self, before: "PerfCounters") -> Dict[str, Union[int, float]]:
+        """Field-wise difference ``self - before`` (for measurement regions).
+
+        ``largest_batch`` is reported as the current value, not a difference
+        (it is a high-water mark, not an accumulator).
+        """
+        out: Dict[str, Union[int, float]] = {}
+        for f in dataclasses.fields(self):
+            if f.name == "largest_batch":
+                out[f.name] = getattr(self, f.name)
+            else:
+                out[f.name] = getattr(self, f.name) - getattr(before, f.name)
+        return out
+
+    def copy(self) -> "PerfCounters":
+        """Independent copy of the current values."""
+        return dataclasses.replace(self)
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering for CLI/bench output."""
+        lines = ["perf counters:"]
+        lines.append(
+            f"  dijkstra: {self.dijkstra_runs} runs, "
+            f"{self.dijkstra_sources} sources solved "
+            f"(largest batch {self.largest_batch})"
+        )
+        lines.append(
+            f"  delay LRU: {self.delay_cache_hits} hits / "
+            f"{self.delay_cache_misses} misses"
+        )
+        lines.append(
+            f"  edge-cost cache: {self.edge_cost_hits} hits / "
+            f"{self.edge_cost_misses} misses"
+        )
+        lines.append(
+            f"  queries: {self.queries} in {self.query_seconds:.3f}s "
+            f"({self.queries_per_second:.0f}/s)"
+        )
+        return "\n".join(lines)
+
+
+#: The process-wide counter instance every engine layer increments.
+counters = PerfCounters()
+
+
+def get_counters() -> PerfCounters:
+    """The process-wide :data:`counters` instance."""
+    return counters
+
+
+def reset_counters() -> None:
+    """Zero the process-wide counters."""
+    counters.reset()

@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from ..perf import counters
 from ..topology.overlay import Overlay
 
 __all__ = [
@@ -103,6 +105,7 @@ def propagate(
     """
     if not overlay.has_peer(source):
         raise KeyError(f"peer {source} not in overlay")
+    started = perf_counter()
     prop = QueryPropagation(source=source)
     prop.arrival_time[source] = 0.0
     prop.hops[source] = 0
@@ -133,6 +136,8 @@ def propagate(
         prop.parent[peer] = sender
         prop.hops[peer] = hops
         forward_from(peer, sender, t, hops)
+    counters.queries += 1
+    counters.query_seconds += perf_counter() - started
     return prop
 
 

@@ -11,6 +11,20 @@ The overlay is mutable: ACE Phase 3 cuts and establishes connections, and the
 churn model adds and removes peers.  All mutation goes through
 :meth:`connect` / :meth:`disconnect` / :meth:`add_peer` / :meth:`remove_peer`
 so invariants (symmetry, no self-loops, live endpoints) hold by construction.
+
+Cost lookups are served from two layers of memoization:
+
+* a **host-pair cache** (append-only; underlay delays never change), shared
+  across :meth:`copy` clones, and
+* a **per-edge cost cache** keyed by peer pair, covering exactly the (small,
+  slowly-changing) logical edge set.  :meth:`warm_edge_costs` fills it in
+  bulk through the underlay's batched Dijkstra, and the mutation methods
+  keep it in sync: :meth:`disconnect` and :meth:`remove_peer` drop stale
+  entries (this covers every cut site — ACE Phase 3 replacement, LTM/AOTO
+  cuts, churn departures), :meth:`connect` fills the new edge from the
+  host-pair cache when possible.  On a warmed static overlay the query
+  engine's inner loop (:func:`repro.search.flooding.propagate`) therefore
+  never touches scipy at all.
 """
 
 from __future__ import annotations
@@ -19,6 +33,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from ..perf import counters
 from .physical import PhysicalTopology
 
 __all__ = [
@@ -41,6 +56,7 @@ class Overlay:
         self._hosts: Dict[int, int] = {}
         self._adjacency: Dict[int, Set[int]] = {}
         self._cost_cache: Dict[Tuple[int, int], float] = {}
+        self._edge_costs: Dict[Tuple[int, int], float] = {}
         if hosts:
             for peer, host in hosts.items():
                 self.add_peer(peer, host)
@@ -86,9 +102,14 @@ class Overlay:
         self._adjacency[peer] = set()
 
     def remove_peer(self, peer: int) -> None:
-        """Remove a peer and all its logical connections."""
+        """Remove a peer and all its logical connections.
+
+        Edge-cost cache entries of the removed connections are invalidated
+        so a later re-join of the same peer id cannot observe stale costs.
+        """
         for other in list(self._adjacency[peer]):
             self._adjacency[other].discard(peer)
+            self._edge_costs.pop((peer, other) if peer < other else (other, peer), None)
         del self._adjacency[peer]
         del self._hosts[peer]
 
@@ -131,6 +152,18 @@ class Overlay:
             return False
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
+        # Seed the edge-cost cache without touching the underlay: the cost is
+        # filled now if the host pair is already known, lazily (or by the
+        # next warm_edge_costs sweep) otherwise.
+        key = (u, v) if u < v else (v, u)
+        hu, hv = self._hosts[u], self._hosts[v]
+        if hu == hv:
+            self._edge_costs[key] = 0.0
+        else:
+            hkey = (hu, hv) if hu < hv else (hv, hu)
+            cached = self._cost_cache.get(hkey)
+            if cached is not None:
+                self._edge_costs[key] = cached
         return True
 
     def disconnect(self, u: int, v: int) -> bool:
@@ -141,6 +174,7 @@ class Overlay:
             return False
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
+        self._edge_costs.pop((u, v) if u < v else (v, u), None)
         return True
 
     def edges(self) -> Iterator[Tuple[int, int]]:
@@ -155,28 +189,49 @@ class Overlay:
     # ------------------------------------------------------------------
 
     def cost(self, u: int, v: int) -> float:
-        """Cost of a (potential) logical link: underlay shortest-path delay."""
+        """Cost of a (potential) logical link: underlay shortest-path delay.
+
+        Existing logical edges are served from the per-edge cost cache (one
+        dict probe, no host lookups); other pairs fall back to the host-pair
+        cache and, last, the underlay's Dijkstra engine.
+        """
+        pkey = (u, v) if u < v else (v, u)
+        cached = self._edge_costs.get(pkey)
+        if cached is not None:
+            counters.edge_cost_hits += 1
+            return cached
         hu, hv = self._hosts[u], self._hosts[v]
         if hu == hv:
-            return 0.0
-        key = (hu, hv) if hu < hv else (hv, hu)
-        cached = self._cost_cache.get(key)
-        if cached is not None:
-            return cached
-        d = self._physical.delay(hu, hv)
-        self._cost_cache[key] = d
+            d = 0.0
+        else:
+            hkey = (hu, hv) if hu < hv else (hv, hu)
+            d = self._cost_cache.get(hkey)
+            if d is None:
+                d = self._physical.delay(hu, hv)
+                self._cost_cache[hkey] = d
+        if v in self._adjacency.get(u, ()):
+            counters.edge_cost_misses += 1
+            self._edge_costs[pkey] = d
         return d
 
     def costs_from(self, u: int, targets: Iterable[int]) -> Dict[int, float]:
         """Costs from *u* to several peers with at most one underlay query."""
         hu = self._hosts[u]
-        targets = list(targets)
+        nbrs = self._adjacency.get(u, ())
         out: Dict[int, float] = {}
         missing: List[int] = []
         for t in targets:
+            pkey = (u, t) if u < t else (t, u)
+            cached = self._edge_costs.get(pkey)
+            if cached is not None:
+                counters.edge_cost_hits += 1
+                out[t] = cached
+                continue
             ht = self._hosts[t]
             if ht == hu:
                 out[t] = 0.0
+                if t in nbrs:
+                    self._edge_costs[pkey] = 0.0
                 continue
             key = (hu, ht) if hu < ht else (ht, hu)
             cached = self._cost_cache.get(key)
@@ -184,6 +239,8 @@ class Overlay:
                 missing.append(t)
             else:
                 out[t] = cached
+                if t in nbrs:
+                    self._edge_costs[pkey] = cached
         if missing:
             vec = self._physical.delays_from(hu)
             for t in missing:
@@ -192,7 +249,72 @@ class Overlay:
                 key = (hu, ht) if hu < ht else (ht, hu)
                 self._cost_cache[key] = d
                 out[t] = d
+                if t in nbrs:
+                    counters.edge_cost_misses += 1
+                    self._edge_costs[(u, t) if u < t else (t, u)] = d
         return out
+
+    def warm_edge_costs(self, chunk_size: int = 256) -> int:
+        """Bulk-fill the per-edge cost cache for every current logical edge.
+
+        Edges whose cost is not yet known are grouped by source host and
+        solved through :meth:`PhysicalTopology.delays_from_many
+        <repro.topology.physical.PhysicalTopology.delays_from_many>` in
+        batches of at most *chunk_size* sources, extracting only the scalar
+        costs (the full delay vectors are not retained, so memory stays
+        bounded even at paper scale).  Idempotent and cheap when already
+        warm.  Returns the number of edge costs computed.
+        """
+        pending: Dict[int, List[Tuple[Tuple[int, int], int, Tuple[int, int]]]] = {}
+        for u, v in self.edges():
+            pkey = (u, v)
+            if pkey in self._edge_costs:
+                continue
+            hu, hv = self._hosts[u], self._hosts[v]
+            if hu == hv:
+                self._edge_costs[pkey] = 0.0
+                continue
+            hkey = (hu, hv) if hu < hv else (hv, hu)
+            cached = self._cost_cache.get(hkey)
+            if cached is not None:
+                self._edge_costs[pkey] = cached
+                continue
+            pending.setdefault(hu, []).append((pkey, hv, hkey))
+        if not pending:
+            return 0
+        filled = 0
+        sources = sorted(pending)
+        for start in range(0, len(sources), chunk_size):
+            chunk = sources[start : start + chunk_size]
+            rows = self._physical.delays_from_many(chunk, cache=False)
+            for h in chunk:
+                row = rows[h]
+                for pkey, hv, hkey in pending[h]:
+                    d = float(row[hv])
+                    self._cost_cache[hkey] = d
+                    self._edge_costs[pkey] = d
+                    counters.edge_cost_misses += 1
+                    filled += 1
+        return filled
+
+    def warm_sources(self, peers: Iterable[int]) -> int:
+        """Prefetch underlay delay vectors for the given peers' hosts.
+
+        Makes every later ``cost``/``costs_from`` rooted at one of these
+        peers (including probes of *non*-edges, e.g. ACE Phase-3 candidate
+        probing) Dijkstra-free.  Returns the number of sources solved.
+        """
+        hosts = {self._hosts[p] for p in peers if p in self._hosts}
+        return self._physical.warm(hosts)
+
+    @property
+    def cached_edge_costs(self) -> int:
+        """Number of logical edges with a resident cached cost."""
+        return len(self._edge_costs)
+
+    def invalidate_edge_costs(self) -> None:
+        """Drop the whole per-edge cost cache (host-pair memos survive)."""
+        self._edge_costs.clear()
 
     def total_edge_cost(self) -> float:
         """Sum of logical-link costs over all overlay edges."""
@@ -239,6 +361,7 @@ class Overlay:
         clone._hosts = dict(self._hosts)
         clone._adjacency = {p: set(nbrs) for p, nbrs in self._adjacency.items()}
         clone._cost_cache = self._cost_cache  # shared, append-only cache
+        clone._edge_costs = dict(self._edge_costs)  # private: edges diverge
         return clone
 
     def to_networkx(self):

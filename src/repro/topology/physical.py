@@ -10,8 +10,22 @@ The quantity every other layer needs from the underlay is the *shortest-path
 delay* between two hosts: the cost of one logical-overlay transmission is the
 underlay shortest-path delay between the two endpoints (paper Section 3.3,
 Tables 1 and 2).  Shortest paths are computed with scipy's sparse Dijkstra and
-cached per source node with a small LRU, which keeps 20,000-node underlays
+cached per source node with an LRU, which keeps 20,000-node underlays
 tractable on a laptop.
+
+Two access patterns are supported:
+
+* **single source** (:meth:`delays_from` / :meth:`delay`) — one Dijkstra run
+  per LRU miss, the original on-demand path;
+* **batched** (:meth:`delays_from_many` / :meth:`warm`) — all uncached
+  sources of a known working set are solved by *one* vectorized scipy call
+  (``indices=[...]``), amortizing the python/scipy dispatch overhead and
+  letting callers prefetch exactly the source set they are about to touch
+  instead of faulting one run at a time.
+
+All paths update the shared :data:`repro.perf.counters` so experiments can
+assert cache behavior (e.g. "zero Dijkstra runs during query propagation on
+a warmed overlay").
 """
 
 from __future__ import annotations
@@ -22,6 +36,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import connected_components, dijkstra
+
+from ..perf import counters
 
 __all__ = ["PhysicalTopology"]
 
@@ -191,15 +207,27 @@ class PhysicalTopology:
     # Shortest paths
     # ------------------------------------------------------------------
 
+    def _evict(self) -> None:
+        """Shrink both LRU caches to capacity, oldest sources first.
+
+        The predecessor cache holds a subset of the distance cache's keys
+        (batched solves skip predecessors), so eviction is driven by the
+        distance cache and mirrored into the predecessor cache — the single
+        place both are trimmed, so the two can never drift.
+        """
+        while len(self._dist_cache) > self._cache_size:
+            old, _ = self._dist_cache.popitem(last=False)
+            self._pred_cache.pop(old, None)
+
     def _run_dijkstra(self, source: int) -> None:
+        counters.dijkstra_runs += 1
+        counters.dijkstra_sources += 1
         dist, pred = dijkstra(
             self._matrix, directed=False, indices=source, return_predecessors=True
         )
         self._dist_cache[source] = dist
         self._pred_cache[source] = pred
-        while len(self._dist_cache) > self._cache_size:
-            old, _ = self._dist_cache.popitem(last=False)
-            self._pred_cache.pop(old, None)
+        self._evict()
 
     def delays_from(self, source: int) -> np.ndarray:
         """Shortest-path delay from *source* to every node.
@@ -210,21 +238,118 @@ class PhysicalTopology:
         if not (0 <= source < self._num_nodes):
             raise ValueError(f"source {source} out of range")
         if source not in self._dist_cache:
+            counters.delay_cache_misses += 1
             self._run_dijkstra(source)
         else:
+            counters.delay_cache_hits += 1
             self._dist_cache.move_to_end(source)
         return self._dist_cache[source]
+
+    def delays_from_many(
+        self, sources: Iterable[int], cache: bool = True
+    ) -> Dict[int, np.ndarray]:
+        """Shortest-path delay vectors for several sources at once.
+
+        All sources missing from the LRU are solved by **one** vectorized
+        scipy Dijkstra call (``indices=[...]``) instead of one call per
+        source.  Returns ``{source: delay_vector}`` for every distinct
+        source; vectors are cached (subject to the normal LRU capacity —
+        use :meth:`warm` to also grow the cache around a working set) and
+        must not be mutated by the caller.
+
+        With ``cache=False`` the freshly solved vectors are returned but not
+        retained, which bounds memory when streaming a large source set only
+        to extract a few scalars per vector (see
+        :meth:`Overlay.warm_edge_costs <repro.topology.overlay.Overlay.warm_edge_costs>`).
+        """
+        out: Dict[int, np.ndarray] = {}
+        missing: List[int] = []
+        for raw in sources:
+            s = int(raw)
+            if not (0 <= s < self._num_nodes):
+                raise ValueError(f"source {s} out of range")
+            if s in out or s in missing:
+                continue
+            vec = self._dist_cache.get(s)
+            if vec is not None:
+                counters.delay_cache_hits += 1
+                self._dist_cache.move_to_end(s)
+                out[s] = vec
+            else:
+                counters.delay_cache_misses += 1
+                missing.append(s)
+        if missing:
+            counters.dijkstra_runs += 1
+            counters.dijkstra_sources += len(missing)
+            counters.largest_batch = max(counters.largest_batch, len(missing))
+            dist = dijkstra(self._matrix, directed=False, indices=missing)
+            dist = np.atleast_2d(dist)
+            for i, s in enumerate(missing):
+                # Copy each row out so the (k, n) solve block can be freed.
+                vec = np.array(dist[i], copy=True)
+                out[s] = vec
+                if cache:
+                    self._dist_cache[s] = vec
+            if cache:
+                self._evict()
+        return out
+
+    def warm(self, sources: Iterable[int], chunk_size: int = 512) -> int:
+        """Prefetch delay vectors for a working set of sources.
+
+        Grows the LRU capacity so the whole set stays resident, then solves
+        all uncached sources in batched Dijkstra calls of at most
+        *chunk_size* sources each (bounding the transient ``(k, n)`` scipy
+        output).  Returns the number of sources actually solved; warming an
+        already-resident set is free.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        wanted: List[int] = []
+        seen = set()
+        for raw in sources:
+            s = int(raw)
+            if not (0 <= s < self._num_nodes):
+                raise ValueError(f"source {s} out of range")
+            if s not in seen:
+                seen.add(s)
+                wanted.append(s)
+        if len(wanted) > self._cache_size:
+            self._cache_size = len(wanted)
+        computed = 0
+        pending = [s for s in wanted if s not in self._dist_cache]
+        for start in range(0, len(pending), chunk_size):
+            chunk = pending[start : start + chunk_size]
+            computed += len(chunk)
+            self.delays_from_many(chunk, cache=True)
+        return computed
+
+    def cached_sources(self) -> List[int]:
+        """Sources whose delay vectors are currently resident (LRU order)."""
+        return list(self._dist_cache)
+
+    @property
+    def dijkstra_cache_size(self) -> int:
+        """Current LRU capacity (grows when :meth:`warm` needs room)."""
+        return self._cache_size
 
     def delay(self, u: int, v: int) -> float:
         """Shortest-path delay between hosts *u* and *v* (0 when ``u == v``)."""
         if u == v:
             return 0.0
-        # Serve from whichever endpoint is already cached to avoid extra runs.
+        # Serve from whichever endpoint is already cached to avoid extra
+        # runs, refreshing LRU recency so hot sources stay resident.
         if u in self._dist_cache:
+            counters.delay_cache_hits += 1
+            self._dist_cache.move_to_end(u)
             return float(self._dist_cache[u][v])
         if v in self._dist_cache:
+            counters.delay_cache_hits += 1
+            self._dist_cache.move_to_end(v)
             return float(self._dist_cache[v][u])
-        return float(self.delays_from(u)[v])
+        counters.delay_cache_misses += 1
+        self._run_dijkstra(u)
+        return float(self._dist_cache[u][v])
 
     def path(self, u: int, v: int) -> List[int]:
         """One shortest path from *u* to *v* as a node list (inclusive).

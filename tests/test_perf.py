@@ -1,0 +1,194 @@
+"""Perf-counter and hot-path regression tests.
+
+These pin the performance architecture of the delay/cost pipeline (see
+``docs/PERFORMANCE.md``): batched Dijkstra solves, the per-overlay edge-cost
+cache, and — the headline regression — **zero Dijkstra runs during query
+propagation on a warmed static overlay**.
+
+The ``perf_smoke`` marker selects the fast subset that keeps the batch APIs
+and counters exercised in every tier-1 run (``pytest -m perf_smoke``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ace import AceConfig, AceProtocol
+from repro.perf import PerfCounters, counters, get_counters, reset_counters
+from repro.search.flooding import blind_flooding_strategy, propagate
+from repro.topology.overlay import Overlay, small_world_overlay
+from repro.topology.physical import PhysicalTopology
+
+
+@pytest.fixture(autouse=True)
+def _clean_counters():
+    """Each test observes its own counter deltas from zero."""
+    reset_counters()
+    yield
+    reset_counters()
+
+
+class TestPerfCounters:
+    def test_global_instance_identity(self):
+        assert get_counters() is counters
+
+    def test_reset_zeroes_everything(self):
+        counters.dijkstra_runs = 7
+        counters.query_seconds = 1.5
+        counters.reset()
+        assert counters.dijkstra_runs == 0
+        assert counters.query_seconds == 0.0
+
+    def test_snapshot_includes_derived_throughput(self):
+        counters.queries = 10
+        counters.query_seconds = 2.0
+        snap = counters.snapshot()
+        assert snap["queries"] == 10
+        assert snap["queries_per_second"] == pytest.approx(5.0)
+
+    def test_queries_per_second_zero_when_idle(self):
+        assert PerfCounters().queries_per_second == 0.0
+
+    def test_delta_between_snapshots(self):
+        before = counters.copy()
+        counters.dijkstra_runs += 3
+        counters.largest_batch = 12
+        delta = counters.delta(before)
+        assert delta["dijkstra_runs"] == 3
+        assert delta["largest_batch"] == 12  # high-water mark, not a diff
+
+    def test_format_is_human_readable(self):
+        text = counters.format()
+        assert "dijkstra" in text and "queries" in text
+
+
+@pytest.mark.perf_smoke
+class TestBatchingCounters:
+    def test_batched_solve_counts_one_run_many_sources(self, line_physical):
+        line_physical.delays_from_many([0, 1, 2, 3])
+        assert counters.dijkstra_runs == 1
+        assert counters.dijkstra_sources == 4
+        assert counters.largest_batch == 4
+
+    def test_warm_then_lookup_is_all_hits(self, line_physical):
+        line_physical.warm(range(5))
+        before = counters.copy()
+        for u in range(5):
+            for v in range(5):
+                line_physical.delay(u, v)
+        delta = counters.delta(before)
+        assert delta["dijkstra_runs"] == 0
+        assert delta["delay_cache_misses"] == 0
+        assert delta["delay_cache_hits"] > 0
+
+    def test_single_source_path_still_counted(self, line_physical):
+        line_physical.delays_from(0)
+        assert counters.dijkstra_runs == 1
+        assert counters.dijkstra_sources == 1
+
+    def test_overlay_warm_uses_batched_runs(self, ba_physical, rng):
+        ov = small_world_overlay(ba_physical, 30, avg_degree=6, rng=rng)
+        reset_counters()
+        ov.warm_edge_costs()
+        # One batched call (well under the chunk size) for all edge sources.
+        assert counters.dijkstra_runs == 1
+        assert counters.dijkstra_sources > 1
+
+
+@pytest.mark.perf_smoke
+class TestWarmedPropagationIsDijkstraFree:
+    def test_propagate_runs_zero_dijkstras_on_warmed_overlay(
+        self, ba_physical, rng
+    ):
+        ov = small_world_overlay(ba_physical, 40, avg_degree=6, rng=rng)
+        ov.warm_edge_costs()
+        strategy = blind_flooding_strategy(ov)
+        before = counters.copy()
+        for source in ov.peers()[:5]:
+            prop = propagate(ov, source, strategy, ttl=None)
+            assert prop.search_scope == ov.num_peers
+        delta = counters.delta(before)
+        assert delta["dijkstra_runs"] == 0
+        assert delta["delay_cache_misses"] == 0
+        assert delta["edge_cost_misses"] == 0
+        assert delta["edge_cost_hits"] > 0
+        assert delta["queries"] == 5
+        assert delta["query_seconds"] > 0.0
+
+    def test_warmed_ace_routing_is_dijkstra_free(self, ba_physical, rng):
+        ov = small_world_overlay(ba_physical, 30, avg_degree=6, rng=rng)
+        protocol = AceProtocol(ov, AceConfig(depth=1), rng=np.random.default_rng(7))
+        protocol.step()
+        from repro.search.tree_routing import ace_strategy
+
+        ov.warm_edge_costs()
+        before = counters.copy()
+        prop = propagate(ov, ov.peers()[0], ace_strategy(protocol), ttl=None)
+        delta = counters.delta(before)
+        assert prop.search_scope == ov.num_peers
+        assert delta["dijkstra_runs"] == 0
+
+
+class TestInvalidationUnderMutation:
+    def test_churn_rejoin_recomputes_not_reuses(self, grid_physical):
+        # A peer leaves host 3 and rejoins on host 15; the first cost lookup
+        # of the re-established edge must be a miss (stale entry evicted),
+        # and the value must reflect the *new* host's underlay delay.
+        ov = Overlay(grid_physical, {0: 0, 1: 3})
+        ov.connect(0, 1)
+        ov.warm_edge_costs()
+        ov.remove_peer(1)
+        ov.add_peer(1, 15)
+        ov.connect(0, 1)
+        before = counters.copy()
+        cost = ov.cost(0, 1)
+        delta = counters.delta(before)
+        assert cost == pytest.approx(grid_physical.delay(0, 15))
+        assert delta["edge_cost_hits"] == 0
+        assert delta["edge_cost_misses"] == 1
+
+    def test_ace_rewiring_keeps_cache_consistent(self, ba_physical, rng):
+        ov = small_world_overlay(ba_physical, 30, avg_degree=6, rng=rng)
+        protocol = AceProtocol(ov, AceConfig(depth=1), rng=np.random.default_rng(3))
+        protocol.run(2)  # cuts and establishes connections
+        ov.warm_edge_costs()
+        # Every cached entry must match a live edge and its underlay delay.
+        assert ov.cached_edge_costs == ov.num_edges
+        for u, v in ov.edges():
+            hu, hv = ov.host_of(u), ov.host_of(v)
+            assert ov.cost(u, v) == pytest.approx(ba_physical.delay(hu, hv))
+
+    def test_stale_entries_dropped_on_disconnect(self, grid_physical):
+        ov = Overlay(grid_physical, {0: 0, 1: 3, 2: 12})
+        ov.connect(0, 1)
+        ov.connect(1, 2)
+        ov.warm_edge_costs()
+        assert ov.cached_edge_costs == 2
+        ov.disconnect(0, 1)
+        ov.disconnect(1, 2)
+        assert ov.cached_edge_costs == 0
+
+
+@pytest.mark.perf_smoke
+class TestPerfSmoke:
+    """Fast end-to-end smoke of the batch APIs + counters (tier-1)."""
+
+    def test_batch_warm_query_cycle(self):
+        phys = PhysicalTopology(
+            16,
+            [(i, i + 1) for i in range(15)] + [(0, 15)],
+            [1.0] * 16,
+            cache_size=4,
+        )
+        ov = Overlay(phys, {i: i for i in range(8)})
+        for i in range(7):
+            ov.connect(i, i + 1)
+        solved = ov.warm_edge_costs()
+        assert solved == ov.num_edges
+        ov.warm_sources(ov.peers())
+        before = counters.copy()
+        prop = propagate(ov, 0, blind_flooding_strategy(ov), ttl=None)
+        delta = counters.delta(before)
+        assert prop.search_scope == 8
+        assert delta["dijkstra_runs"] == 0
+        snap = counters.snapshot()
+        assert snap["queries"] >= 1

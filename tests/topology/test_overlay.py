@@ -231,3 +231,109 @@ class TestGeneratorEdgeCases:
         sw = small_world_overlay(ba_physical, 60, avg_degree=6, rng=rng)
         rnd = random_overlay(ba_physical, 60, avg_degree=6, rng=rng)
         assert clustering_coefficient(sw) > 2 * clustering_coefficient(rnd)
+
+
+class TestEdgeCostCache:
+    """The persistent per-edge cost cache and its invalidation hooks."""
+
+    def test_warm_edge_costs_fills_every_edge(self, triangle_overlay):
+        filled = triangle_overlay.warm_edge_costs()
+        assert filled == triangle_overlay.num_edges
+        assert triangle_overlay.cached_edge_costs == triangle_overlay.num_edges
+
+    def test_warm_edge_costs_idempotent(self, triangle_overlay):
+        triangle_overlay.warm_edge_costs()
+        assert triangle_overlay.warm_edge_costs() == 0
+
+    def test_warmed_costs_match_underlay(self, triangle_overlay):
+        triangle_overlay.warm_edge_costs()
+        phys = triangle_overlay.physical
+        for u, v in triangle_overlay.edges():
+            hu, hv = triangle_overlay.host_of(u), triangle_overlay.host_of(v)
+            assert triangle_overlay.cost(u, v) == pytest.approx(phys.delay(hu, hv))
+
+    def test_warm_edge_costs_chunked(self, ba_physical, rng):
+        ov = small_world_overlay(ba_physical, 30, avg_degree=6, rng=rng)
+        assert ov.warm_edge_costs(chunk_size=4) == ov.num_edges
+        for u, v in ov.edges():
+            hu, hv = ov.host_of(u), ov.host_of(v)
+            assert ov.cost(u, v) == pytest.approx(ba_physical.delay(hu, hv))
+
+    def test_disconnect_invalidates_entry(self, triangle_overlay):
+        triangle_overlay.warm_edge_costs()
+        triangle_overlay.disconnect(0, 1)
+        assert triangle_overlay.cached_edge_costs == 2
+
+    def test_remove_peer_invalidates_incident_entries(self, triangle_overlay):
+        triangle_overlay.warm_edge_costs()
+        triangle_overlay.remove_peer(0)
+        assert triangle_overlay.cached_edge_costs == 1  # only edge 1-2 left
+
+    def test_rewired_edge_reflects_new_underlay_delay(self, grid_physical):
+        # ACE-style rewiring: cut 0-1, connect 0-2; the cached cost of the
+        # old edge must not leak into the new one.
+        ov = Overlay(grid_physical, {0: 0, 1: 3, 2: 12, 3: 15})
+        ov.connect(0, 1)
+        ov.warm_edge_costs()
+        assert ov.cost(0, 1) == pytest.approx(30.0)
+        ov.disconnect(0, 1)
+        ov.connect(0, 2)
+        assert ov.cost(0, 2) == pytest.approx(grid_physical.delay(0, 12))
+        ov.warm_edge_costs()
+        assert ov.cost(0, 2) == pytest.approx(30.0)
+
+    def test_rejoin_on_different_host_gets_fresh_costs(self, grid_physical):
+        # Churn: peer 1 leaves host 3 and rejoins on host 15; a stale cached
+        # edge cost for (0, 1) would report the old host's delay.
+        ov = Overlay(grid_physical, {0: 0, 1: 3})
+        ov.connect(0, 1)
+        ov.warm_edge_costs()
+        assert ov.cost(0, 1) == pytest.approx(30.0)
+        ov.remove_peer(1)
+        ov.add_peer(1, 15)
+        ov.connect(0, 1)
+        ov.warm_edge_costs()
+        assert ov.cost(0, 1) == pytest.approx(grid_physical.delay(0, 15))
+        assert ov.cost(0, 1) != pytest.approx(30.0)
+
+    def test_connect_seeds_cost_from_host_pair_cache(self, triangle_overlay):
+        triangle_overlay.warm_edge_costs()
+        triangle_overlay.disconnect(0, 1)
+        # Reconnecting a known host pair fills the entry without any
+        # underlay work.
+        triangle_overlay.connect(0, 1)
+        assert triangle_overlay.cached_edge_costs == 3
+
+    def test_same_host_edge_costs_zero(self, grid_physical):
+        ov = Overlay(grid_physical, {0: 5, 1: 5})
+        ov.connect(0, 1)
+        assert ov.warm_edge_costs() == 0  # filled inline, no underlay solve
+        assert ov.cost(0, 1) == 0.0
+
+    def test_invalidate_edge_costs_clears_all(self, triangle_overlay):
+        triangle_overlay.warm_edge_costs()
+        triangle_overlay.invalidate_edge_costs()
+        assert triangle_overlay.cached_edge_costs == 0
+        # Costs still correct afterwards (recomputed through host-pair cache).
+        assert triangle_overlay.cost(0, 1) == pytest.approx(30.0)
+
+    def test_copy_gets_private_edge_cost_cache(self, triangle_overlay):
+        triangle_overlay.warm_edge_costs()
+        clone = triangle_overlay.copy()
+        clone.disconnect(0, 1)
+        assert clone.cached_edge_costs == 2
+        assert triangle_overlay.cached_edge_costs == 3
+
+    def test_warm_sources_makes_peer_rooted_lookups_resident(self, triangle_overlay):
+        solved = triangle_overlay.warm_sources([0, 1, 2])
+        assert solved == 3
+        hosts = {triangle_overlay.host_of(p) for p in (0, 1, 2)}
+        assert hosts <= set(triangle_overlay.physical.cached_sources())
+
+    def test_costs_from_populates_edge_cache_for_neighbors_only(
+        self, triangle_overlay
+    ):
+        triangle_overlay.disconnect(1, 2)
+        triangle_overlay.costs_from(0, [1, 2])  # both still neighbors of 0
+        triangle_overlay.costs_from(1, [2])     # 2 is not 1's neighbor now
+        assert triangle_overlay.cached_edge_costs == 2

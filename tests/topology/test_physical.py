@@ -204,3 +204,101 @@ class TestNetworkxInterop:
         g.add_edge(0, 1)
         topo = PhysicalTopology.from_networkx(g)
         assert topo.link_delay(0, 1) == 1.0
+
+
+class TestBatchedDijkstra:
+    def test_delays_from_many_matches_single_source(self):
+        topo = make_line()
+        batched = topo.delays_from_many([0, 2, 4])
+        for s, vec in batched.items():
+            assert list(vec) == pytest.approx(list(topo.delays_from(s)))
+
+    def test_delays_from_many_deduplicates_sources(self):
+        topo = make_line()
+        out = topo.delays_from_many([1, 1, 1, 3, 3])
+        assert sorted(out) == [1, 3]
+
+    def test_delays_from_many_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            make_line().delays_from_many([0, 99])
+
+    def test_delays_from_many_caches_results(self):
+        topo = make_line()
+        topo.delays_from_many([0, 1, 2])
+        assert set(topo.cached_sources()) >= {0, 1, 2}
+
+    def test_delays_from_many_uncached_mode_leaves_lru_empty(self):
+        topo = make_line()
+        topo.delays_from_many([0, 1, 2], cache=False)
+        assert topo.cached_sources() == []
+
+    def test_warm_returns_solved_count_and_is_idempotent(self):
+        topo = make_line()
+        assert topo.warm([0, 1, 2]) == 3
+        assert topo.warm([0, 1, 2]) == 0  # already resident
+
+    def test_warm_grows_capacity_beyond_initial_lru(self):
+        topo = PhysicalTopology(
+            6, [(i, i + 1) for i in range(5)], [1.0] * 5, cache_size=2
+        )
+        topo.warm(range(6))
+        assert topo.dijkstra_cache_size >= 6
+        assert sorted(topo.cached_sources()) == [0, 1, 2, 3, 4, 5]
+
+    def test_warm_chunking_covers_all_sources(self):
+        topo = PhysicalTopology(
+            8, [(i, i + 1) for i in range(7)], [1.0] * 7
+        )
+        assert topo.warm(range(8), chunk_size=3) == 8
+        assert sorted(topo.cached_sources()) == list(range(8))
+
+    def test_warm_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            make_line().warm([0], chunk_size=0)
+
+    def test_batched_results_survive_path_queries(self):
+        # A batched (distance-only) entry upgraded by a path() call must
+        # stay consistent: path cost equals the batched delay.
+        topo = make_line()
+        vec = topo.delays_from_many([0])[0]
+        path = topo.path(0, 4)
+        assert topo.path_delay(path) == pytest.approx(float(vec[4]))
+
+
+class TestLruCoherence:
+    def test_delay_fast_path_refreshes_recency(self):
+        # Regression: serving a cached source via delay() must refresh LRU
+        # recency, otherwise hot sources get evicted as if cold.
+        topo = PhysicalTopology(
+            6, [(i, i + 1) for i in range(5)], [1.0] * 5, cache_size=2
+        )
+        topo.delays_from(0)   # cache: [0]
+        topo.delays_from(1)   # cache: [0, 1]
+        topo.delay(0, 5)      # fast path on 0 -> cache order: [1, 0]
+        topo.delays_from(2)   # evicts 1, keeps hot 0
+        cached = topo.cached_sources()
+        assert 0 in cached and 1 not in cached
+
+    def test_delay_fast_path_refreshes_recency_v_branch(self):
+        topo = PhysicalTopology(
+            6, [(i, i + 1) for i in range(5)], [1.0] * 5, cache_size=2
+        )
+        topo.delays_from(3)   # cache: [3]
+        topo.delays_from(4)   # cache: [3, 4]
+        topo.delay(0, 3)      # fast path via cached v=3 -> order: [4, 3]
+        topo.delays_from(2)   # evicts 4, keeps hot 3
+        cached = topo.cached_sources()
+        assert 3 in cached and 4 not in cached
+
+    def test_eviction_keeps_pred_cache_subset_of_dist_cache(self):
+        topo = PhysicalTopology(
+            8, [(i, i + 1) for i in range(7)], [1.0] * 7, cache_size=3
+        )
+        # Mix predecessor-bearing runs (path) with batched distance-only
+        # solves, forcing evictions; the caches must never drift.
+        for s in range(6):
+            topo.path(s, 7)
+        topo.delays_from_many([6, 7])
+        topo.path(0, 7)
+        assert set(topo._pred_cache) <= set(topo._dist_cache)
+        assert len(topo._dist_cache) <= topo.dijkstra_cache_size
