@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..topology.overlay import Overlay
 from .closure import ClosureView, neighbor_closure
 from .cost_table import Phase1Report, run_phase1
@@ -165,7 +166,7 @@ class AceProtocol:
     ) -> None:
         self.overlay = overlay
         self.config = config or AceConfig()
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self._policy: CandidatePolicy = make_policy(self.config.policy)
         self._states: Dict[int, PeerAceState] = {}
         self._steps_run = 0
@@ -275,11 +276,15 @@ class AceProtocol:
         """
         sheds = 0
         my_neighbors = self.overlay.neighbors(peer)
+        # One batched sweep covers every peer-rooted cost this phase needs
+        # (targets and mutual witnesses alike); shedding only removes edges,
+        # so the precomputed costs stay valid for the whole loop.
+        d_peer = self.overlay.costs_from(
+            peer, sorted(set(non_flooding) | set(my_neighbors))
+        )
         # Most expensive candidates first: with a per-step cap, the worst
         # redundant connection goes first.
-        ordered = sorted(
-            non_flooding, key=lambda t: (-self.overlay.cost(peer, t), t)
-        )
+        ordered = sorted(non_flooding, key=lambda t: (-d_peer[t], t))
         for target in ordered:
             if sheds >= self.config.max_sheds_per_step:
                 break
@@ -290,13 +295,13 @@ class AceProtocol:
                 or self.overlay.degree(target) <= self._shed_floor
             ):
                 continue
-            d_pt = self.overlay.cost(peer, target)
+            d_pt = d_peer[target]
             mutual = my_neighbors & self.overlay.neighbors(target)
+            if not mutual:
+                continue
+            d_target = self.overlay.costs_from(target, sorted(mutual))
             for w in mutual:
-                if (
-                    self.overlay.cost(peer, w) < d_pt
-                    and self.overlay.cost(w, target) < d_pt
-                ):
+                if d_peer[w] < d_pt and d_target[w] < d_pt:
                     self.overlay.disconnect(peer, target)
                     sheds += 1
                     break

@@ -86,11 +86,20 @@ def neighbor_closure(overlay: Overlay, source: int, depth: int) -> ClosureView:
     members = frozenset(hop)
     edges: Dict[int, Dict[int, float]] = {m: {} for m in members}
     for u in members:
-        for v in overlay.neighbors(u):
-            if v in members and v not in edges[u]:
-                c = overlay.cost(u, v)
-                edges[u][v] = c
-                edges[v][u] = c
+        # Batch all of u's in-closure edge costs in one sweep (symmetric
+        # entries filled from the other endpoint are skipped up front).
+        targets = [
+            v
+            for v in sorted(overlay.neighbors(u))
+            if v in members and v not in edges[u]
+        ]
+        if not targets:
+            continue
+        row = overlay.costs_from(u, targets)
+        for v in targets:
+            c = row[v]
+            edges[u][v] = c
+            edges[v][u] = c
     return ClosureView(
         source=source,
         depth=depth,

@@ -91,21 +91,28 @@ def attempt_replacement(
     probes = 0
     probe_cost = 0.0
 
+    # All source-rooted probe costs come from one batched sweep: the same
+    # underlay vector serves the charged pool and every candidate below.
+    d_src = overlay.costs_from(source, list(candidates))
+
     # The closest policy pays for probing the full eligible pool up front.
     charged = getattr(policy, "probes_charged", None)
     if charged is not None:
         pool = charged(overlay, source, target)
         probes = len(pool)
-        probe_cost = round_trip_factor * sum(
-            overlay.cost(source, h) for h in pool
-        )
+        pool_costs = overlay.costs_from(source, pool)
+        probe_cost = round_trip_factor * sum(pool_costs[h] for h in pool)
+
+    # Target-rooted costs are only needed on the keep-both branch; solved
+    # lazily (one batched sweep) the first time a candidate reaches it.
+    d_tgt = None
 
     tried = 0
     for cand in candidates:
         if tried >= max_probes and charged is None:
             break
         tried += 1
-        d_sh = overlay.cost(source, cand)
+        d_sh = d_src[cand]
         if charged is None:
             probes += 1
             probe_cost += round_trip_factor * d_sh
@@ -122,7 +129,9 @@ def attempt_replacement(
                 )
             continue
 
-        d_ch = overlay.cost(target, cand)
+        if d_tgt is None:
+            d_tgt = overlay.costs_from(target, list(candidates))
+        d_ch = d_tgt[cand]
         if allow_keep_both and d_sh < d_ch:
             # Figure 4(c): farther than C, but closer than the C-H link —
             # establish S-H and keep C; C is expected to shed C-H later.

@@ -92,10 +92,10 @@ class ExampleWalkthrough:
     def rows(self) -> List[Tuple[str, str, float]]:
         """(from, to, cost) rows in the style of the paper's Tables 1-2."""
         overlay = build_example_overlay()
-        out = []
-        for u, v in self.query_paths:
-            out.append((u, v, overlay.cost(_name_to_id(u), _name_to_id(v))))
-        return out
+        return [
+            (u, v, overlay.cost(_name_to_id(u), _name_to_id(v)))
+            for u, v in self.query_paths
+        ]
 
 
 def run_walkthrough(

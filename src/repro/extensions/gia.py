@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..topology.overlay import Overlay
 
 __all__ = ["GiaReport", "GiaAdaptation", "assign_capacities"]
@@ -75,7 +76,7 @@ class GiaAdaptation:
         max_degree: int = 32,
     ) -> None:
         self.overlay = overlay
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         if capacities is None:
             capacities = assign_capacities(overlay.peers(), self.rng)
         self.capacities = capacities

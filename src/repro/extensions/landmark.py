@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..topology.overlay import Overlay
 
 __all__ = ["LandmarkReport", "LandmarkMatcher"]
@@ -55,7 +56,7 @@ class LandmarkMatcher:
         if n_landmarks < 1:
             raise ValueError("need at least one landmark")
         self.overlay = overlay
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.candidates_per_step = candidates_per_step
         self.min_degree = min_degree
         physical = overlay.physical
@@ -106,14 +107,28 @@ class LandmarkMatcher:
         peers = self.overlay.peers()
         if len(peers) < 2:
             return 0.0
-        total, count = 0.0, 0
-        for _ in range(samples):
-            a, b = (
-                peers[int(i)] for i in self.rng.integers(0, len(peers), size=2)
+        # Draw all sample pairs first, then resolve the true delays in
+        # batched sweeps grouped by source peer (one underlay query per
+        # distinct source instead of one per sample).
+        pairs = [
+            (peers[int(i)], peers[int(j)])
+            for i, j in (
+                self.rng.integers(0, len(peers), size=2) for _ in range(samples)
             )
+        ]
+        by_source: Dict[int, List[int]] = {}
+        for a, b in pairs:
+            if a != b:
+                by_source.setdefault(a, []).append(b)
+        true_costs = {
+            a: self.overlay.costs_from(a, sorted(set(bs)))
+            for a, bs in by_source.items()
+        }
+        total, count = 0.0, 0
+        for a, b in pairs:
             if a == b:
                 continue
-            true = self.overlay.cost(a, b)
+            true = true_costs[a][b]
             if true <= 0:
                 continue
             est = self.estimated_distance(a, b)

@@ -29,6 +29,7 @@ from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..topology.overlay import Overlay
 
 __all__ = ["LtmReport", "LtmProtocol"]
@@ -58,7 +59,7 @@ class LtmProtocol:
         round_trip_factor: float = 1.0,
     ) -> None:
         self.overlay = overlay
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.min_degree = min_degree
         self.round_trip_factor = round_trip_factor
         self._steps_run = 0
@@ -75,13 +76,12 @@ class LtmProtocol:
         re-flooded once by each direct neighbor (TTL 2), so the charge is
         the peer's link costs plus its neighbors' link costs.
         """
-        total = 0.0
-        for nbr in self.overlay.neighbors(peer):
-            c = self.overlay.cost(peer, nbr)
-            total += c
-            for second in self.overlay.neighbors(nbr):
-                if second != peer:
-                    total += self.overlay.cost(nbr, second)
+        nbrs = sorted(self.overlay.neighbors(peer))
+        total = sum(self.overlay.costs_from(peer, nbrs).values())
+        for nbr in nbrs:
+            seconds = [s for s in sorted(self.overlay.neighbors(nbr)) if s != peer]
+            if seconds:
+                total += sum(self.overlay.costs_from(nbr, seconds).values())
         return total * self.round_trip_factor
 
     def optimize_peer(self, peer: int, report: LtmReport) -> int:
@@ -95,18 +95,30 @@ class LtmProtocol:
         report.detector_overhead += self._detector_overhead(peer)
         cuts = 0
         neighbors = sorted(self.overlay.neighbors(peer))
+        d_peer = self.overlay.costs_from(peer, neighbors)
+        # Batch the closing-side costs up front: the peer only ever cuts its
+        # own links, so (a, b) edges — and their costs — are invariant for
+        # the whole round.  One costs_from sweep per apex replaces a scalar
+        # cost() fault per triangle.
+        d_close: dict = {}
+        for i, a in enumerate(neighbors):
+            closing = [b for b in neighbors[i + 1 :] if self.overlay.has_edge(a, b)]
+            if closing:
+                row = self.overlay.costs_from(a, closing)
+                for b in closing:
+                    d_close[(a, b)] = row[b]
         for i, a in enumerate(neighbors):
             if not self.overlay.has_edge(peer, a):
                 continue
             for b in neighbors[i + 1 :]:
                 if not self.overlay.has_edge(peer, b):
                     continue
-                if not self.overlay.has_edge(a, b):
+                if (a, b) not in d_close:
                     continue
                 report.triangles_seen += 1
-                d_pa = self.overlay.cost(peer, a)
-                d_pb = self.overlay.cost(peer, b)
-                d_ab = self.overlay.cost(a, b)
+                d_pa = d_peer[a]
+                d_pb = d_peer[b]
+                d_ab = d_close[(a, b)]
                 # Cut the strictly longest side if it is incident to us.
                 if d_pb > d_pa and d_pb > d_ab:
                     victim = b

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Protocol
 
+from ..rng import ensure_rng
 from ..topology.overlay import Overlay
 from .engine import EventLoop
 from .messages import Message
@@ -106,9 +107,9 @@ class MessageNetwork:
         self.stats.record(message, cost)
         if self.loss_rate > 0.0:
             if self._rng is None:
-                import numpy as np
-
-                self._rng = np.random.default_rng()
+                # Deterministic fallback: loss draws reproduce run-to-run
+                # even when the caller did not thread an RNG.
+                self._rng = ensure_rng(None)
             if self._rng.random() < self.loss_rate:
                 self.stats.lost_messages += 1
                 return True  # charged, never delivered

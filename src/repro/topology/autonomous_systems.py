@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..rng import ensure_rng
 from .overlay import Overlay
 from .physical import PhysicalTopology
 
@@ -57,7 +58,7 @@ def transit_stub(
         raise ValueError("need at least 2 transit nodes")
     if stubs_per_transit < 1 or stub_size < 1:
         raise ValueError("stub dimensions must be positive")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
 
     n_stubs = transit_nodes * stubs_per_transit
     total = transit_nodes + n_stubs * stub_size
@@ -161,8 +162,12 @@ def as_traffic_report(
             inter_links += 1
 
     intra_traffic = inter_traffic = 0.0
+    # Every pair below is a live logical edge: one batched solve up front
+    # turns the per-hop cost() probes into dict hits.
+    overlay.warm_edge_costs()
     if propagation is not None:
         for peer, parent in propagation.parent.items():
+            # replint: disable=REP004 — delivery hops are edges; warmed above
             cost = overlay.cost(parent, peer)
             if peer_as.get(parent) == peer_as.get(peer):
                 intra_traffic += cost
@@ -170,6 +175,7 @@ def as_traffic_report(
                 inter_traffic += cost
     else:
         for u, v in overlay.edges():
+            # replint: disable=REP004 — edge costs warmed above
             cost = overlay.cost(u, v)
             if peer_as[u] == peer_as[v]:
                 intra_traffic += cost

@@ -62,10 +62,18 @@ def overlay_to_dot(
             attrs.append(f"fillcolor={_quote(color)}")
             attrs.append(f"tooltip={_quote(f'AS {as_id}')}")
         lines.append(f"  {peer} [{', '.join(attrs)}];")
+    if show_costs:
+        # One batched underlay solve for every edge label, then dict probes.
+        overlay.warm_edge_costs()
+    edge_costs = (
+        {(u, v): overlay.cost(u, v) for u, v in overlay.edges()}
+        if show_costs
+        else {}
+    )
     for u, v in sorted(overlay.edges()):
         attrs = []
         if show_costs:
-            attrs.append(f"label={_quote(round(overlay.cost(u, v), 1))}")
+            attrs.append(f"label={_quote(round(edge_costs[(u, v)], 1))}")
         if (u, v) in highlight:
             attrs.append("color=red")
             attrs.append("penwidth=2.5")

@@ -23,6 +23,7 @@ from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..rng import ensure_rng
 from .physical import PhysicalTopology
 
 __all__ = [
@@ -39,9 +40,8 @@ _MIN_DELAY = 1.0
 
 
 def _as_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
-    if rng is None:
-        return np.random.default_rng()
-    return rng
+    # Deterministic fallback: a forgotten rng still reproduces run-to-run.
+    return ensure_rng(rng)
 
 
 def _place_nodes(n: int, rng: np.random.Generator, plane_size: float) -> np.ndarray:

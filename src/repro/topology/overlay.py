@@ -34,6 +34,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 import numpy as np
 
 from ..perf import counters
+from ..rng import ensure_rng
 from .physical import PhysicalTopology
 
 __all__ = [
@@ -371,7 +372,9 @@ class Overlay:
         g = nx.Graph()
         for p, h in self._hosts.items():
             g.add_node(p, host=h)
+        self.warm_edge_costs()  # one batched solve; the loop below only probes
         for u, v in self.edges():
+            # replint: disable=REP004 — served from the just-warmed edge cache
             g.add_edge(u, v, cost=self.cost(u, v))
         return g
 
@@ -408,7 +411,7 @@ def random_overlay(
     bootstrap-list connection process that *creates* the mismatch problem.
     The result is made connected by chaining components with random links.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     if avg_degree < 2:
         raise ValueError("avg_degree must be >= 2 to allow a connected overlay")
     hosts = _pick_hosts(physical, n_peers, rng)
@@ -443,7 +446,7 @@ def power_law_overlay(
     shape while keeping the same host-placement process as
     :func:`random_overlay`.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     m = max(1, int(round(avg_degree / 2.0)))
     if n_peers < m + 1:
         raise ValueError("n_peers too small for the requested degree")
@@ -487,7 +490,7 @@ def small_world_overlay(
     scenarios, because ACE's Phase 2 prunes exactly the neighbor-neighbor
     links that clustering creates.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     if not 0.0 <= triad_probability <= 1.0:
         raise ValueError("triad_probability must be in [0, 1]")
     m = max(2, int(round(avg_degree / 2.0)))

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
 
 import numpy as np
 
+from ..rng import ensure_rng
 from .overlay import Overlay
 from .physical import PhysicalTopology
 
@@ -114,7 +115,7 @@ def build_two_tier(
     """
     if not 0.0 < supernode_fraction < 1.0:
         raise ValueError("supernode_fraction must be in (0, 1)")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     n_super = max(3, int(round(supernode_fraction * n_peers)))
     if n_super >= n_peers:
         raise ValueError("need at least one leaf; lower supernode_fraction")

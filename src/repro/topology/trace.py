@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from ..rng import ensure_rng
 from .overlay import Overlay
 from .physical import PhysicalTopology
 
@@ -69,7 +70,7 @@ def synthesize_gnutella_snapshot(
     into a single component (crawl snapshots are connected by construction —
     a crawler only reaches the giant component).
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     if d_max is None:
         d_max = max(8, int(round(n_peers ** 0.5)))
     degrees = _power_law_degrees(n_peers, exponent, d_min, d_max, rng)
@@ -114,7 +115,7 @@ def snapshot_from_adjacency(
     If *hosts* is omitted, peers are assigned random distinct hosts in the
     underlay's largest component.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     peers = sorted(set(adjacency) | {v for nbrs in adjacency.values() for v in nbrs})
     if hosts is None:
         candidates = physical.largest_component_nodes()

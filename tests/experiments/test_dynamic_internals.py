@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+# replint: disable=REP003 — white-box test of the churn-wiring internals
 from repro.experiments.dynamic_env import (
     DynamicConfig,
     DynamicSeries,

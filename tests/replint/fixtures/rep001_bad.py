@@ -1,0 +1,23 @@
+"""REP001 fixture: the seed-era nondeterminism patterns, all of them bad."""
+
+import random
+
+import numpy as np
+
+
+def seed_era_fallback(rng=None):
+    # The exact pattern PR 2 eradicated from src/: a forgotten rng argument
+    # silently means fresh OS entropy and a different world every run.
+    rng = rng or np.random.default_rng()
+    return rng.random()
+
+
+def legacy_global_numpy():
+    return np.random.rand(4)
+
+
+def stdlib_global_random():
+    return random.random()
+
+
+AMBIENT = np.random.default_rng()

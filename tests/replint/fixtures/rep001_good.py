@@ -1,0 +1,19 @@
+"""REP001 fixture: the sanctioned randomness patterns, all of them clean."""
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+
+def threaded(rng=None):
+    rng = ensure_rng(rng)
+    return rng.random()
+
+
+def explicitly_seeded(seed):
+    return np.random.default_rng(seed).random()
+
+
+def derived_streams(seed):
+    streams = np.random.SeedSequence(seed).spawn(2)
+    return [np.random.default_rng(s) for s in streams]

@@ -1,0 +1,27 @@
+"""REP002 fixture: cache-contract breakers, all of them bad."""
+
+
+def peek_edge_costs(overlay, u, v):
+    # Seed-era pattern: reaching into Overlay's private per-edge cache from
+    # the outside instead of calling overlay.cost(u, v).
+    return overlay._edge_costs.get((u, v))
+
+
+def drop_dist_entry(topo, source):
+    # Evicting from one LRU without the other desynchronises them.
+    del topo._dist_cache[source]
+
+
+def count_pred_entries(topo):
+    return len(topo._pred_cache)
+
+
+class Overlay:
+    def disconnect(self, u, v):
+        # Mutates the adjacency but never touches _edge_costs nor calls an
+        # invalidator: stale costs survive the rewiring.
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+
+    def remove_peer(self, peer):
+        del self._adjacency[peer]

@@ -1,0 +1,35 @@
+"""REP002 fixture: cache-respecting code, all of it clean."""
+
+
+def public_cost(overlay, u, v):
+    return overlay.cost(u, v)
+
+
+class Overlay:
+    def __init__(self, adjacency):
+        # __init__ builds both structures from scratch; exempt by design.
+        self._adjacency = adjacency
+        self._edge_costs = {}
+
+    def add_peer(self, peer):
+        # Creates no edges, so there is nothing to invalidate.
+        self._adjacency[peer] = set()
+
+    def disconnect(self, u, v):
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._edge_costs.pop((min(u, v), max(u, v)), None)
+
+    def rewire(self, u, old, new):
+        self._adjacency[u].discard(old)
+        self._adjacency[u].add(new)
+        self.invalidate_edge_costs(u)
+
+    def invalidate_edge_costs(self, peer):
+        pass
+
+
+class SupernodeOverlay(Overlay):
+    def collapse(self, members):
+        self._adjacency.pop(members[-1], None)
+        self.invalidate_edge_costs(members[-1])

@@ -1,0 +1,14 @@
+"""REP004 fixture: scalar cache lookups inside loop bodies. All bad."""
+
+
+def total_cost(overlay, peer, neighbors):
+    total = 0.0
+    for nbr in neighbors:
+        total += overlay.cost(peer, nbr)
+    return total
+
+
+def wait_for_cheap_route(topo, a, b, budget):
+    while topo.delay(a, b) > budget:
+        budget *= 1.1
+    return budget

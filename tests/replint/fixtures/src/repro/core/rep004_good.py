@@ -1,0 +1,23 @@
+"""REP004 fixture: batched lookups and exempt constructs. All clean."""
+
+
+def total_cost(overlay, peer, neighbors):
+    return sum(overlay.costs_from(peer, neighbors).values())
+
+
+def all_pairs(topo, sources):
+    return topo.delays_from_many(sources)
+
+
+def comprehensions_are_exempt(overlay, peer, neighbors):
+    # A comprehension body is not a for-statement body; one-shot rows like
+    # this read fine and REP004 leaves them alone.
+    return {nbr: overlay.cost(peer, nbr) for nbr in neighbors}
+
+
+def loop_over_precomputed(overlay, peer, neighbors):
+    row = overlay.costs_from(peer, neighbors)
+    worst = 0.0
+    for nbr in neighbors:
+        worst = max(worst, row[nbr])
+    return worst

@@ -1,0 +1,17 @@
+"""REP001 fixture: wall-clock reads inside simulation logic (src/repro/sim)."""
+
+import time
+from time import time as now
+
+
+def timestamp_event():
+    return time.time()
+
+
+def imported_alias():
+    return now()
+
+
+def measurement_is_fine():
+    # perf_counter measures durations, not wall-clock time: allowed.
+    return time.perf_counter()

@@ -1,0 +1,6 @@
+"""REP003 fixture: a substrate module importing driver layers. All bad."""
+
+import repro.experiments.static_env
+from repro.cli import main
+from repro.core.closure import _component_of
+from ..extensions import ltm

@@ -1,0 +1,16 @@
+"""Suppression fixture: every violation here carries a pragma."""
+
+import random
+
+import numpy as np
+
+
+def trailing_pragma():
+    return random.random()  # replint: disable=REP001
+
+
+def preceding_comment_block():
+    # This block explains at length why ambient entropy is acceptable in
+    # this one spot, then suppresses the check for the line that follows.
+    # replint: disable=REP001 — justification text after the codes is ignored
+    return np.random.default_rng()

@@ -1,0 +1,12 @@
+"""Suppression fixture: a whole-file pragma silences REP001 everywhere."""
+# replint: disable-file=REP001
+
+import random
+
+
+def first():
+    return random.random()
+
+
+def second():
+    return random.choice([1, 2, 3])

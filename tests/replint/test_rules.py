@@ -1,0 +1,136 @@
+"""Rule tests: every rule catches its seed-era bad fixture and passes the
+rewritten good one, and suppression comments behave."""
+
+from pathlib import Path
+
+from tools.replint import check_file, default_rules
+from tools.replint.rules import rules_by_code
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_rule(code, relpath):
+    return check_file(FIXTURES / relpath, [rules_by_code()[code]])
+
+
+def lines(violations):
+    return sorted(v.line for v in violations)
+
+
+class TestDeterminism:
+    def test_bad_fixture_catches_every_seed_era_pattern(self):
+        violations = run_rule("REP001", "rep001_bad.py")
+        assert all(v.code == "REP001" for v in violations)
+        # the `rng or np.random.default_rng()` fallback, the legacy
+        # np.random.rand, stdlib random.random, and a module-level ambient rng
+        assert lines(violations) == [11, 16, 20, 23]
+
+    def test_unseeded_fallback_message_points_at_ensure_rng(self):
+        violations = run_rule("REP001", "rep001_bad.py")
+        fallback = [v for v in violations if v.line == 11]
+        assert "ensure_rng" in fallback[0].message
+
+    def test_good_fixture_is_clean(self):
+        assert run_rule("REP001", "rep001_good.py") == []
+
+    def test_wall_clock_flagged_inside_sim_modules(self):
+        violations = run_rule(
+            "REP001", "src/repro/sim/rep001_wallclock_bad.py"
+        )
+        # time.time() and the `from time import time as now` alias; the
+        # perf_counter call stays allowed.
+        assert lines(violations) == [8, 12]
+        assert all("wall-clock" in v.message for v in violations)
+
+    def test_wall_clock_allowed_outside_sim_logic(self, tmp_path):
+        source = (FIXTURES / "src/repro/sim/rep001_wallclock_bad.py").read_text()
+        elsewhere = tmp_path / "bench_helper.py"
+        elsewhere.write_text(source)
+        assert check_file(elsewhere, [rules_by_code()["REP001"]]) == []
+
+
+class TestCacheCoherence:
+    def test_bad_fixture_catches_both_contract_sides(self):
+        violations = run_rule("REP002", "rep002_bad.py")
+        assert all(v.code == "REP002" for v in violations)
+        # ownership: _edge_costs, _dist_cache, _pred_cache from outside;
+        # mutate-without-invalidate: disconnect() and remove_peer().
+        assert lines(violations) == [7, 12, 16, 23, 27]
+
+    def test_cross_class_edge_costs_read_is_named(self):
+        violations = run_rule("REP002", "rep002_bad.py")
+        ownership = [v for v in violations if v.line == 7]
+        assert "Overlay._edge_costs" in ownership[0].message
+
+    def test_mutation_without_invalidation_is_named(self):
+        violations = run_rule("REP002", "rep002_bad.py")
+        mutator = [v for v in violations if v.line == 23]
+        assert "disconnect" in mutator[0].message
+        assert "invalidate_edge_costs" in mutator[0].message
+
+    def test_good_fixture_is_clean(self):
+        # __init__, the add_peer empty-set idiom, pop-paired mutation, and
+        # invalidator-paired rewiring are all sanctioned.
+        assert run_rule("REP002", "rep002_good.py") == []
+
+
+class TestLayering:
+    def test_bad_fixture_catches_upward_and_private_imports(self):
+        violations = run_rule("REP003", "src/repro/topology/rep003_bad.py")
+        assert all(v.code == "REP003" for v in violations)
+        # plain import of experiments, from-import of cli, a private name
+        # from core, and a *relative* upward import of extensions.
+        assert lines(violations) == [3, 4, 5, 6]
+
+    def test_relative_upward_import_is_resolved(self):
+        violations = run_rule("REP003", "src/repro/topology/rep003_bad.py")
+        relative = [v for v in violations if v.line == 6]
+        assert "repro.extensions" in relative[0].message
+
+    def test_private_import_is_named(self):
+        violations = run_rule("REP003", "src/repro/topology/rep003_bad.py")
+        private = [v for v in violations if v.line == 5]
+        assert "_component_of" in private[0].message
+
+    def test_good_fixture_is_clean(self):
+        assert run_rule("REP003", "src/repro/topology/rep003_good.py") == []
+
+
+class TestPerfHygiene:
+    def test_bad_fixture_catches_loop_body_scalar_lookups(self):
+        violations = run_rule("REP004", "src/repro/core/rep004_bad.py")
+        assert all(v.code == "REP004" for v in violations)
+        # cost() in a for body and delay() in a while condition.
+        assert lines(violations) == [7, 12]
+
+    def test_message_suggests_batched_api(self):
+        violations = run_rule("REP004", "src/repro/core/rep004_bad.py")
+        assert any("costs_from" in v.message for v in violations)
+
+    def test_good_fixture_is_clean(self):
+        assert run_rule("REP004", "src/repro/core/rep004_good.py") == []
+
+    def test_rule_only_audits_importable_modules(self, tmp_path):
+        # Outside a src/ root there is no module name, and REP004 does not
+        # apply — loops in test helpers are free to call cost().
+        source = (FIXTURES / "src/repro/core/rep004_bad.py").read_text()
+        helper = tmp_path / "helper.py"
+        helper.write_text(source)
+        assert check_file(helper, [rules_by_code()["REP004"]]) == []
+
+
+class TestSuppressions:
+    def test_fully_suppressed_fixture_is_clean(self):
+        assert check_file(FIXTURES / "suppressed.py", default_rules()) == []
+
+    def test_disable_file_pragma_silences_whole_file(self):
+        assert (
+            check_file(FIXTURES / "suppressed_file.py", default_rules()) == []
+        )
+
+    def test_unsuppressed_and_wrong_code_lines_still_fire(self):
+        violations = check_file(
+            FIXTURES / "partially_suppressed.py", default_rules()
+        )
+        assert lines(violations) == [11, 15]
+        assert all(v.code == "REP001" for v in violations)

@@ -1,0 +1,30 @@
+"""The pytest bridge: the repository must satisfy its own invariants.
+
+This is what wires replint into tier-1 — a REP00x violation anywhere in
+``src/`` or ``tests/`` fails the test suite, not just CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from tools.replint import check_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_and_tests_satisfy_all_invariants():
+    violations = check_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    formatted = "\n".join(v.format() for v in violations)
+    assert not violations, f"replint violations:\n{formatted}"
+
+
+def test_cli_self_check_is_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.replint", "src", "tests"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "replint: clean" in proc.stdout

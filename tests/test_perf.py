@@ -13,6 +13,9 @@ import numpy as np
 import pytest
 
 from repro.core.ace import AceConfig, AceProtocol
+from repro.experiments.dynamic_env import DynamicConfig, run_dynamic_experiment
+from repro.experiments.setup import ScenarioConfig, build_scenario
+from repro.experiments.static_env import run_static_experiment
 from repro.perf import PerfCounters, counters, get_counters, reset_counters
 from repro.search.flooding import blind_flooding_strategy, propagate
 from repro.topology.overlay import Overlay, small_world_overlay
@@ -166,6 +169,47 @@ class TestInvalidationUnderMutation:
         ov.disconnect(0, 1)
         ov.disconnect(1, 2)
         assert ov.cached_edge_costs == 0
+
+
+class TestExperimentDijkstraBudgets:
+    """Counter-driven regression gate for the experiment drivers.
+
+    With fixed seeds the Dijkstra workload of an experiment is exactly
+    reproducible (observed: static 32 runs / 63 sources, dynamic 56 runs /
+    81 sources on this scenario).  The budgets below carry ~25-35% headroom
+    so legitimate small reworks fit, while a regression to per-pair scalar
+    lookups — tens of *thousands* of sources at this scale — fails loudly.
+    """
+
+    SCENARIO = ScenarioConfig(physical_nodes=200, peers=40, avg_degree=6, seed=5)
+
+    def test_static_experiment_stays_within_budget(self):
+        scenario = build_scenario(self.SCENARIO)
+        reset_counters()
+        run_static_experiment(scenario, steps=3, query_samples=8)
+        assert counters.dijkstra_runs <= 40
+        assert counters.dijkstra_sources <= 85
+
+    def test_dynamic_experiment_stays_within_budget(self):
+        scenario = build_scenario(self.SCENARIO)
+        reset_counters()
+        run_dynamic_experiment(
+            scenario, DynamicConfig(total_queries=120, window=40)
+        )
+        assert counters.dijkstra_runs <= 75
+        assert counters.dijkstra_sources <= 110
+
+    def test_budgets_are_run_to_run_stable(self):
+        # The gate only works because the counts are deterministic: two
+        # identically-seeded runs must spend the identical Dijkstra workload.
+        scenario = build_scenario(self.SCENARIO)
+        reset_counters()
+        run_static_experiment(scenario, steps=3, query_samples=8)
+        first = (counters.dijkstra_runs, counters.dijkstra_sources)
+        reset_counters()
+        run_static_experiment(build_scenario(self.SCENARIO), steps=3,
+                              query_samples=8)
+        assert (counters.dijkstra_runs, counters.dijkstra_sources) == first
 
 
 @pytest.mark.perf_smoke

@@ -1,0 +1,37 @@
+"""replint — the repro repository's AST-based invariant checker.
+
+Four rule families enforce what code review used to: **REP001** determinism
+(seeded, threaded randomness), **REP002** cache coherence (the overlay /
+underlay cache contracts from ``docs/PERFORMANCE.md``), **REP003** layering
+(substrate never imports drivers), **REP004** perf hygiene (batched delay
+lookups, not in-loop scalar faults).  See ``docs/STATIC_ANALYSIS.md``.
+
+Usage::
+
+    python -m tools.replint src tests          # CLI
+    from tools.replint import check_paths      # pytest bridge / programmatic
+
+Suppress a finding with ``# replint: disable=REP00x`` on (or directly
+above) the offending line.
+"""
+
+from .engine import (
+    FileContext,
+    Rule,
+    Violation,
+    check_file,
+    check_paths,
+    iter_python_files,
+)
+from .rules import default_rules, rules_by_code
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "Violation",
+    "check_file",
+    "check_paths",
+    "iter_python_files",
+    "default_rules",
+    "rules_by_code",
+]

@@ -1,0 +1,103 @@
+"""Command-line entry point: ``python -m tools.replint [paths...]``.
+
+Exit status: 0 when clean, 1 when violations were found, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import DEFAULT_EXCLUDED_DIRS, check_paths
+from .rules import default_rules, rules_by_code
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.replint",
+        description=(
+            "AST-based invariant checker for the repro codebase: "
+            "determinism (REP001), cache coherence (REP002), layering "
+            "(REP003), perf hygiene (REP004)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to check (default: src tests)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the available rules and exit",
+    )
+    parser.add_argument(
+        "--include-fixtures",
+        action="store_true",
+        help="descend into 'fixtures' directories (excluded by default "
+        "because the replint test suite keeps deliberately bad files there)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line; print only violations",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.code}  {rule.name:16s} {rule.description}")
+        return 0
+
+    rules = default_rules()
+    if args.rules:
+        table = rules_by_code()
+        wanted = [c.strip() for c in args.rules.split(",") if c.strip()]
+        unknown = [c for c in wanted if c not in table]
+        if unknown:
+            print(
+                f"error: unknown rule code(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(table))})",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [table[c] for c in wanted]
+
+    excluded = DEFAULT_EXCLUDED_DIRS
+    if args.include_fixtures:
+        excluded = frozenset(excluded - {"fixtures"})
+
+    try:
+        violations = check_paths(
+            [Path(p) for p in args.paths], rules=rules, excluded_dirs=excluded
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    for violation in violations:
+        print(violation.format())
+    if not args.quiet:
+        codes = ", ".join(r.code for r in rules)
+        if violations:
+            print(f"replint: {len(violations)} violation(s) [{codes}]")
+        else:
+            print(f"replint: clean [{codes}]")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

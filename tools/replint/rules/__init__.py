@@ -1,0 +1,48 @@
+"""The replint rule families.
+
+========  ======================  =====================================================
+Code      Name                    Invariant
+========  ======================  =====================================================
+REP001    determinism             randomness is seeded and threaded, never ambient
+REP002    cache-coherence         delay/cost caches are touched only by their owners
+REP003    layering                topology/sim never import experiment-layer modules
+REP004    perf-hygiene            no per-element delay/cost lookups inside loops
+========  ======================  =====================================================
+
+``REP000`` is reserved for parse errors (emitted by the engine, not a rule).
+Each invariant is documented in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..engine import Rule
+from .cache_coherence import CacheCoherenceRule
+from .determinism import DeterminismRule
+from .layering import LayeringRule
+from .perf_hygiene import PerfHygieneRule
+
+__all__ = [
+    "DeterminismRule",
+    "CacheCoherenceRule",
+    "LayeringRule",
+    "PerfHygieneRule",
+    "default_rules",
+    "rules_by_code",
+]
+
+
+def default_rules() -> List[Rule]:
+    """One instance of every shipped rule, in code order."""
+    return [
+        DeterminismRule(),
+        CacheCoherenceRule(),
+        LayeringRule(),
+        PerfHygieneRule(),
+    ]
+
+
+def rules_by_code() -> Dict[str, Rule]:
+    """Map ``REP00x`` codes to fresh rule instances."""
+    return {rule.code: rule for rule in default_rules()}

@@ -1,0 +1,218 @@
+"""REP002 — the delay/cost caches are touched only by code that keeps them
+coherent.
+
+PR 1 introduced two cache layers whose correctness rests on hand-maintained
+invariants (``docs/PERFORMANCE.md``):
+
+* ``Overlay._edge_costs`` must always mirror the *live* logical edge set —
+  every adjacency mutation has to drop or refresh the affected entries,
+  otherwise ACE/LTM/churn rewiring serves stale costs.
+* ``PhysicalTopology._dist_cache`` / ``_pred_cache`` must only shrink
+  through ``_evict()``, the single place that keeps the two LRUs in sync.
+
+This rule machine-checks both sides of the contract:
+
+1. **ownership** — no code outside the defining class may read or write
+   ``_edge_costs``, ``_dist_cache`` or ``_pred_cache`` (tests that
+   deliberately poke internals carry a suppression, which keeps the
+   exceptions enumerable).
+2. **mutate-implies-invalidate** — any ``Overlay`` method that mutates the
+   logical adjacency (``self._adjacency``) must also touch ``_edge_costs``
+   or call a sanctioned invalidator in the same method body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from ..engine import FileContext, Rule, Violation
+
+#: protected attribute -> the only class allowed to touch it.
+_PROTECTED_ATTRS: Dict[str, str] = {
+    "_edge_costs": "Overlay",
+    "_dist_cache": "PhysicalTopology",
+    "_pred_cache": "PhysicalTopology",
+}
+
+#: Methods that may mutate ``self._adjacency[...]`` / ``self._adjacency``.
+_SET_MUTATORS = {
+    "add",
+    "discard",
+    "remove",
+    "clear",
+    "pop",
+    "popitem",
+    "update",
+    "setdefault",
+}
+
+#: Calling any of these (on self) counts as restoring edge-cost coherence.
+_INVALIDATORS = {"invalidate_edge_costs", "warm_edge_costs"}
+
+#: The adjacency attribute whose mutation must be paired with invalidation.
+_ADJACENCY_ATTR = "_adjacency"
+_CACHE_ATTR = "_edge_costs"
+
+
+class CacheCoherenceRule(Rule):
+    """Enforce cache ownership and the mutate-implies-invalidate contract."""
+
+    code = "REP002"
+    name = "cache-coherence"
+    description = (
+        "Overlay._edge_costs and PhysicalTopology._dist_cache/_pred_cache "
+        "may only be touched by their defining class, and adjacency "
+        "mutations must invalidate the edge-cost cache"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._check_ownership(ctx)
+        yield from self._check_mutators(ctx)
+
+    # ------------------------------------------------------------------
+    # Part 1: ownership
+    # ------------------------------------------------------------------
+
+    def _check_ownership(self, ctx: FileContext) -> Iterator[Violation]:
+        for node, class_stack in _walk_with_class_stack(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            owner = _PROTECTED_ATTRS.get(node.attr)
+            if owner is None or owner in class_stack:
+                continue
+            yield ctx.violation(
+                node,
+                self.code,
+                f"access to {owner}.{node.attr} outside {owner} bypasses the "
+                "cache-coherence contract; use the public API "
+                "(invalidate_edge_costs/warm_edge_costs, warm/delays_from*)",
+            )
+
+    # ------------------------------------------------------------------
+    # Part 2: mutate-implies-invalidate inside Overlay
+    # ------------------------------------------------------------------
+
+    def _check_mutators(self, ctx: FileContext) -> Iterator[Violation]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not _is_overlay_class(cls):
+                continue
+            for item in cls.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name == "__init__":
+                    # Construction builds both structures from scratch; there
+                    # is no pre-existing cache to invalidate.
+                    continue
+                mutation = _first_adjacency_mutation(item)
+                if mutation is None:
+                    continue
+                if _touches_cache_or_invalidator(item):
+                    continue
+                yield ctx.violation(
+                    mutation,
+                    self.code,
+                    f"method {cls.name}.{item.name} mutates self."
+                    f"{_ADJACENCY_ATTR} without touching {_CACHE_ATTR} or "
+                    "calling invalidate_edge_costs()/warm_edge_costs(); "
+                    "stale edge costs would survive the rewiring",
+                )
+
+
+def _walk_with_class_stack(tree: ast.Module):
+    """Yield ``(node, [enclosing class names])`` for every node."""
+
+    def visit(node: ast.AST, stack: List[str]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield child, stack
+                yield from visit(child, stack + [child.name])
+            else:
+                yield child, stack
+                yield from visit(child, stack)
+
+    yield from visit(tree, [])
+
+
+def _is_overlay_class(cls: ast.ClassDef) -> bool:
+    if cls.name == "Overlay":
+        return True
+    for base in cls.bases:
+        if isinstance(base, ast.Name) and base.id == "Overlay":
+            return True
+        if isinstance(base, ast.Attribute) and base.attr == "Overlay":
+            return True
+    return False
+
+
+def _is_self_adjacency(node: ast.expr) -> bool:
+    """Whether *node* is ``self._adjacency``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == _ADJACENCY_ATTR
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _is_empty_set_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "set"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _first_adjacency_mutation(func: ast.AST) -> Optional[ast.AST]:
+    """The first node in *func* that mutates ``self._adjacency``, if any.
+
+    Counted as mutations:
+
+    * ``self._adjacency[x].add/discard/...(...)`` (edge-set mutation)
+    * ``self._adjacency.pop/clear/update/...(...)`` (peer-map mutation)
+    * ``del self._adjacency[x]``
+    * ``self._adjacency[x] = <expr>`` — unless the expression is a literal
+      empty ``set()``, the ``add_peer`` idiom that creates no edges.
+    * rebinding ``self._adjacency`` itself.
+    """
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _SET_MUTATORS:
+                target = node.func.value
+                if _is_self_adjacency(target):
+                    return node
+                if isinstance(target, ast.Subscript) and _is_self_adjacency(
+                    target.value
+                ):
+                    return node
+        elif isinstance(node, ast.Delete):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Subscript) and _is_self_adjacency(tgt.value):
+                    return node
+                if _is_self_adjacency(tgt):
+                    return node
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            for tgt in targets:
+                if isinstance(tgt, ast.Subscript) and _is_self_adjacency(tgt.value):
+                    if value is not None and _is_empty_set_call(value):
+                        continue
+                    return node
+                if _is_self_adjacency(tgt):
+                    return node
+    return None
+
+
+def _touches_cache_or_invalidator(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute):
+            if node.attr == _CACHE_ATTR:
+                return True
+            if node.attr in _INVALIDATORS:
+                return True
+    return False

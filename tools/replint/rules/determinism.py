@@ -1,0 +1,209 @@
+"""REP001 — every source of randomness (and wall-clock time) is explicit.
+
+The reproduction's contract is that one seed reproduces one figure, bit for
+bit.  Three patterns silently break that contract:
+
+* ``np.random.default_rng()`` **without a seed** — the classic fallback
+  ``rng = rng or np.random.default_rng()`` means a caller that forgets to
+  thread an RNG gets fresh OS entropy and a different world every run.  Use
+  :func:`repro.rng.ensure_rng` (seeded default) or require the argument.
+* **global-state RNG calls** — stdlib ``random.*`` and the legacy
+  ``np.random.*`` module functions (``np.random.rand`` etc.) mutate hidden
+  process-wide state, so any import-order or concurrency change reshuffles
+  every downstream draw.
+* **wall-clock reads in simulation logic** — ``time.time()`` inside
+  ``repro.sim`` / ``repro.core`` couples simulated behaviour to the host
+  clock.  Simulated time lives on the event loop; real time belongs only in
+  measurement code (``time.perf_counter`` in benchmarks is fine).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from ..engine import FileContext, Rule, Violation
+
+#: numpy.random attributes that are *constructors* for explicit, seedable
+#: generators — the sanctioned API (everything else on np.random is the
+#: legacy global-state interface).
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: Wall-clock functions of the ``time`` module (monotonic/perf_counter are
+#: duration measurement, not wall-clock, and stay allowed).
+_WALL_CLOCK = {"time", "time_ns"}
+
+#: Module prefixes in which wall-clock reads are forbidden.
+_SIM_LOGIC_PREFIXES = ("repro.sim", "repro.core")
+
+
+class DeterminismRule(Rule):
+    """Flag unseeded/ambient randomness and wall-clock reads in sim logic."""
+
+    code = "REP001"
+    name = "determinism"
+    description = (
+        "randomness must be seeded and threaded explicitly; no unseeded "
+        "default_rng(), no global-state random.*/np.random.* calls, no "
+        "wall-clock time in simulation logic"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        aliases = _collect_aliases(ctx.tree)
+        in_sim_logic = ctx.module is not None and ctx.module.startswith(
+            _SIM_LOGIC_PREFIXES
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_call(ctx, node, aliases, in_sim_logic)
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        aliases: "_Aliases",
+        in_sim_logic: bool,
+    ) -> Iterator[Violation]:
+        func = node.func
+        # -- unseeded default_rng() ------------------------------------
+        if _is_default_rng(func, aliases) and not node.args and not node.keywords:
+            yield ctx.violation(
+                node,
+                self.code,
+                "unseeded np.random.default_rng() breaks run-to-run "
+                "reproducibility; thread a seeded Generator through the "
+                "caller (see repro.rng.ensure_rng)",
+            )
+            return
+        # -- stdlib random.* global state ------------------------------
+        if isinstance(func, ast.Attribute) and _resolves_to(
+            func.value, aliases.stdlib_random
+        ):
+            yield ctx.violation(
+                node,
+                self.code,
+                f"random.{func.attr}() uses hidden global RNG state; use an "
+                "explicit numpy Generator threaded from the scenario seed",
+            )
+            return
+        if isinstance(func, ast.Name) and func.id in aliases.stdlib_random_funcs:
+            yield ctx.violation(
+                node,
+                self.code,
+                f"{func.id}() (from the random module) uses hidden global "
+                "RNG state; use an explicit numpy Generator",
+            )
+            return
+        # -- legacy np.random.* global state ---------------------------
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr not in _NP_RANDOM_ALLOWED
+            and _is_np_random(func.value, aliases)
+        ):
+            yield ctx.violation(
+                node,
+                self.code,
+                f"np.random.{func.attr}() is the legacy global-state API; "
+                "use a seeded np.random.Generator instead",
+            )
+            return
+        # -- wall clock in simulation logic ----------------------------
+        if in_sim_logic:
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _WALL_CLOCK
+                and _resolves_to(func.value, aliases.time_module)
+            ) or (
+                isinstance(func, ast.Name) and func.id in aliases.wall_clock_funcs
+            ):
+                name = func.attr if isinstance(func, ast.Attribute) else func.id
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    f"wall-clock {name}() inside simulation logic couples "
+                    "results to the host clock; use the event loop's "
+                    "simulated time (or perf_counter for measurement only)",
+                )
+
+
+class _Aliases:
+    """Names the file binds to the random/numpy/time modules."""
+
+    def __init__(self) -> None:
+        self.stdlib_random: Set[str] = set()       # names for module `random`
+        self.stdlib_random_funcs: Set[str] = set() # `from random import x`
+        self.numpy: Set[str] = set()               # names for module `numpy`
+        self.np_random: Set[str] = set()           # names for `numpy.random`
+        self.default_rng_funcs: Set[str] = set()   # `from numpy.random import default_rng`
+        self.time_module: Set[str] = set()         # names for module `time`
+        self.wall_clock_funcs: Set[str] = set()    # `from time import time`
+
+
+def _collect_aliases(tree: ast.Module) -> _Aliases:
+    out = _Aliases()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if alias.name == "random":
+                    out.stdlib_random.add(bound)
+                elif alias.name == "numpy" or alias.name.startswith("numpy."):
+                    if alias.name == "numpy.random" and alias.asname:
+                        out.np_random.add(alias.asname)
+                    else:
+                        out.numpy.add(bound)
+                elif alias.name == "time":
+                    out.time_module.add(bound)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "random":
+                for alias in node.names:
+                    out.stdlib_random_funcs.add(alias.asname or alias.name)
+            elif node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        out.np_random.add(alias.asname or alias.name)
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name == "default_rng":
+                        out.default_rng_funcs.add(alias.asname or alias.name)
+            elif node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALL_CLOCK:
+                        out.wall_clock_funcs.add(alias.asname or alias.name)
+    return out
+
+
+def _resolves_to(node: ast.expr, names: Set[str]) -> bool:
+    return isinstance(node, ast.Name) and node.id in names
+
+
+def _is_np_random(node: ast.expr, aliases: _Aliases) -> bool:
+    """Whether *node* denotes the ``numpy.random`` module."""
+    if _resolves_to(node, aliases.np_random):
+        return True
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and _resolves_to(node.value, aliases.numpy)
+    )
+
+
+def _is_default_rng(func: ast.expr, aliases: _Aliases) -> bool:
+    if isinstance(func, ast.Name):
+        return func.id in aliases.default_rng_funcs
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "default_rng"
+        and _is_np_random(func.value, aliases)
+    )

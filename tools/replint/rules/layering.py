@@ -1,0 +1,119 @@
+"""REP003 — the dependency arrows between repro's subpackages point one way.
+
+The layering (bottom to top) is::
+
+    repro.topology, repro.perf          # substrate: graphs, caches, counters
+    repro.sim, repro.search, repro.core # mechanics: events, queries, ACE
+    repro.extensions                    # alternative protocols (LTM, Gia, ...)
+    repro.experiments, repro.cli        # drivers that assemble everything
+
+Lower layers importing upper ones (``topology`` importing ``experiments``)
+creates cycles, makes the substrate untestable in isolation, and — the MPO
+lesson from PAPERS.md — lets experiment-level policy leak into cache-bearing
+infrastructure.  This rule also forbids importing ``_``-private names across
+modules: a private helper that is imported elsewhere is an API without a
+contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..engine import FileContext, Rule, Violation
+
+#: (importer prefix, forbidden import prefix) pairs.
+_FORBIDDEN: Tuple[Tuple[Tuple[str, ...], Tuple[str, ...]], ...] = (
+    (
+        ("repro.topology", "repro.sim", "repro.perf"),
+        ("repro.experiments", "repro.extensions", "repro.cli"),
+    ),
+    (
+        ("repro.search", "repro.core"),
+        ("repro.experiments", "repro.cli"),
+    ),
+)
+
+
+class LayeringRule(Rule):
+    """Forbid upward imports and cross-module private-name imports."""
+
+    code = "REP003"
+    name = "layering"
+    description = (
+        "substrate layers (topology/sim) must not import driver layers "
+        "(experiments/extensions); private _names are not importable "
+        "across modules"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bad = self._forbidden_target(ctx.module, alias.name)
+                    if bad:
+                        yield ctx.violation(node, self.code, bad)
+            elif isinstance(node, ast.ImportFrom):
+                is_package = ctx.path.name == "__init__.py"
+                resolved = _resolve_import(ctx.module, node, is_package)
+                if resolved is not None:
+                    bad = self._forbidden_target(ctx.module, resolved)
+                    if bad:
+                        yield ctx.violation(node, self.code, bad)
+                for alias in node.names:
+                    if _is_private(alias.name):
+                        src = resolved or node.module or "." * node.level
+                        yield ctx.violation(
+                            node,
+                            self.code,
+                            f"importing private name {alias.name!r} from "
+                            f"{src} couples modules through an interface "
+                            "with no contract; promote it to a public API "
+                            "or inline it",
+                        )
+
+    def _forbidden_target(
+        self, module: Optional[str], imported: str
+    ) -> Optional[str]:
+        if module is None:
+            return None
+        for importers, forbidden in _FORBIDDEN:
+            if _has_prefix(module, importers) and _has_prefix(imported, forbidden):
+                return (
+                    f"layering violation: {module} (substrate layer) imports "
+                    f"{imported} (driver layer); dependencies must point "
+                    "from drivers down to the substrate, never up"
+                )
+        return None
+
+
+def _has_prefix(module: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not (name.startswith("__") and name.endswith("__"))
+
+
+def _resolve_import(
+    module: Optional[str], node: ast.ImportFrom, is_package: bool
+) -> Optional[str]:
+    """Absolute dotted target of an ImportFrom, or ``None`` if unknown.
+
+    Relative imports are resolved against the importer's package (a package
+    ``__init__`` is its own package; a plain module's package drops the last
+    component); absolute imports are returned as written.
+    """
+    if node.level == 0:
+        return node.module
+    if module is None:
+        return None
+    package = module.split(".")
+    if not is_package:
+        package = package[:-1]
+    if len(package) < node.level - 1:
+        return None
+    base = package[: len(package) - (node.level - 1)]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None

@@ -1,0 +1,81 @@
+"""REP004 — no per-element ``delay()``/``cost()`` lookups inside loops.
+
+PR 1's headline optimisation is that the hot paths never fault scalar
+shortest-path queries one at a time: working sets are prefetched with
+``Overlay.warm_edge_costs()`` / ``warm_sources()`` /
+``PhysicalTopology.warm()``, and multi-target lookups go through
+``Overlay.costs_from()`` / ``PhysicalTopology.delays_from_many()`` (one
+vectorised scipy Dijkstra for all uncached sources).  A ``.cost(u, v)`` or
+``.delay(u, v)`` call inside a ``for``/``while`` body is exactly the pattern
+that regressed the seed code to one Dijkstra per loop iteration.
+
+The rule flags any such in-loop call in importable ``src/`` modules.  Calls
+that are *known* to be cache-resident (e.g. iterating the overlay's own
+edges after ``warm_edge_costs()``) carry a line suppression stating why —
+which turns each exception into documentation instead of folklore.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Rule, Violation
+
+_SCALAR_LOOKUPS = {"delay", "cost"}
+
+
+class PerfHygieneRule(Rule):
+    """Flag scalar delay/cost lookups inside for/while bodies."""
+
+    code = "REP004"
+    name = "perf-hygiene"
+    description = (
+        "scalar .delay()/.cost() calls inside loop bodies re-fault the "
+        "underlay one query at a time; use costs_from/delays_from_many/"
+        "warm* batched APIs"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Only importable src/ modules: tests and tooling may loop freely.
+        return ctx.module is not None
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._visit(ctx, ctx.tree, in_loop=False)
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, in_loop: bool
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            child_in_loop = in_loop
+            if isinstance(child, (ast.For, ast.AsyncFor)):
+                # The iterable is evaluated once, outside the loop.
+                yield from self._visit(ctx, child.iter, in_loop)
+                yield from self._visit(ctx, child.target, in_loop)
+                for part in child.body + child.orelse:
+                    yield from self._visit(ctx, part, True)
+                continue
+            if isinstance(child, ast.While):
+                # The condition re-evaluates every iteration: it counts.
+                yield from self._visit(ctx, child.test, True)
+                for part in child.body + child.orelse:
+                    yield from self._visit(ctx, part, True)
+                continue
+            if in_loop and isinstance(child, ast.Call):
+                func = child.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _SCALAR_LOOKUPS
+                ):
+                    yield ctx.violation(
+                        child,
+                        self.code,
+                        f"scalar .{func.attr}() inside a loop body faults "
+                        "the underlay one query at a time; batch with "
+                        "costs_from()/delays_from_many() or prefetch via "
+                        "warm()/warm_edge_costs()/warm_sources()",
+                    )
+            yield from self._visit(ctx, child, child_in_loop)
+    # Comprehensions/generator expressions and sort keys are deliberately
+    # not counted: they are single vectorisable expressions the batched
+    # APIs consume whole, and flagging them would drown the signal.
