@@ -1,0 +1,98 @@
+"""Paper-scale smoke: trimmed Figure 7/9 arms on the full 20,000-node underlay.
+
+Opt-in (CI runs it only when asked): the module is skipped unless
+``REPRO_SCALE`` is set.  The point is not figure fidelity — the overlay and
+query budgets are trimmed hard — but exercising the *transport* at the
+paper's underlay size: one 20,000-node graph built in the parent, exported
+to shared memory, attached zero-copy by every ``REPRO_WORKERS`` worker, and
+the workers' perf counters merged back.  Typical invocation::
+
+    REPRO_SCALE=1 REPRO_WORKERS=4 python -m pytest \
+        benchmarks/bench_paper_scale.py -q
+
+The reported wall-clock and merged counters are recorded in
+``EXPERIMENTS.md`` (paper-scale smoke section).
+"""
+
+import os
+
+import pytest
+from conftest import report
+
+from repro.experiments.dynamic_env import DynamicConfig, run_dynamic_trials
+from repro.experiments.paper_scale import PAPER_PHYSICAL_NODES, paper_scenario
+from repro.experiments.setup import repro_workers
+from repro.experiments.static_env import run_static_trials
+from repro.perf import counters
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_SCALE"),
+    reason="paper-scale smoke is opt-in: set REPRO_SCALE "
+    "(and ideally REPRO_WORKERS) to run it",
+)
+
+#: Trimmed treatment sizes: the paper's full underlay, a reduced overlay.
+#: Each fan-out carries >= 2 trials so the pool (and therefore the
+#: shared-memory export/attach path) actually engages.
+SMOKE_PEERS = 800
+STATIC_DEGREES = (4.0, 6.0)
+STATIC_STEPS = 2
+QUERY_SAMPLES = 8
+DYNAMIC_QUERIES = 300
+DYNAMIC_WINDOW = 100
+
+
+def test_paper_scale_smoke(benchmark, capsys):
+    """Trimmed static (Fig 7) and dynamic (Fig 9) arms at 20k underlay nodes."""
+    static_configs = [
+        paper_scenario(avg_degree=d, seed=0, peers=SMOKE_PEERS)
+        for d in STATIC_DEGREES
+    ]
+    dynamic_config = paper_scenario(avg_degree=8.0, seed=0, peers=SMOKE_PEERS)
+    arms = [
+        (
+            dynamic_config,
+            DynamicConfig(
+                total_queries=DYNAMIC_QUERIES,
+                window=DYNAMIC_WINDOW,
+                enable_ace=enable_ace,
+            ),
+        )
+        for enable_ace in (False, True)
+    ]
+    workers = repro_workers()
+    counters.reset()
+
+    def run_smoke():
+        static = run_static_trials(
+            static_configs,
+            steps=STATIC_STEPS,
+            query_samples=QUERY_SAMPLES,
+            max_workers=workers,
+        )
+        dynamic = run_dynamic_trials(arms, max_workers=workers)
+        return static, dynamic
+
+    static, dynamic = benchmark.pedantic(run_smoke, rounds=1, iterations=1)
+
+    assert all(s.traffic_per_query[0] > 0 for s in static)
+    assert all(a.total_queries == DYNAMIC_QUERIES for a in dynamic)
+    lines = [
+        f"paper-scale smoke ({PAPER_PHYSICAL_NODES} underlay nodes, "
+        f"{SMOKE_PEERS} peers, workers={workers}):"
+    ]
+    for degree, series in zip(STATIC_DEGREES, static):
+        lines.append(
+            f"  static Fig-7 arm C={degree:g}: {STATIC_STEPS} steps, "
+            f"traffic/query {series.traffic_per_query[0]:.0f} -> "
+            f"{series.traffic_per_query[-1]:.0f} "
+            f"({series.traffic_reduction_percent:.1f}% reduction)"
+        )
+    for name, arm in zip(("gnutella", "ace"), dynamic):
+        lines.append(
+            f"  dynamic Fig-9 arm {name}: {arm.total_queries} queries, "
+            f"mean traffic/query {arm.mean_traffic:.0f}, mean response "
+            f"{arm.mean_response:.0f}"
+        )
+    lines.append(counters.format())
+    report(capsys, "\n".join(lines))

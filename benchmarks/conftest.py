@@ -19,8 +19,8 @@ from typing import Dict
 import pytest
 
 from repro.experiments.depth_sweep import DepthSweepConfig, run_depth_sweep
-from repro.experiments.dynamic_env import DynamicConfig, run_dynamic_experiment
-from repro.experiments.setup import ScenarioConfig, build_scenario, repro_workers
+from repro.experiments.dynamic_env import DynamicConfig, run_dynamic_trials
+from repro.experiments.setup import ScenarioConfig, repro_workers
 from repro.experiments.static_env import run_static_trials
 
 #: Average-neighbor counts swept in Figures 7, 8, 11 and 12.
@@ -47,8 +47,9 @@ def static_series():
     """Figure 7/8 series: one static convergence run per average degree.
 
     The per-degree trials are independent, so they fan out over a process
-    pool when ``REPRO_WORKERS`` > 1; each worker rebuilds its world from the
-    seeded config (no topology pickling).
+    pool when ``REPRO_WORKERS`` > 1; the underlay is built once, exported to
+    shared memory, and attached zero-copy by every worker (no regeneration,
+    no topology pickling).
     """
     if "static" not in _cache:
         configs = [
@@ -83,22 +84,31 @@ def depth_sweep():
 
 
 def dynamic_arms():
-    """Figure 9/10 arms: Gnutella-like, ACE, and ACE + index cache."""
+    """Figure 9/10 arms: Gnutella-like, ACE, and ACE + index cache.
+
+    The three arms are independent simulations, so they ride the same
+    ``REPRO_WORKERS`` fan-out (and shared-memory underlay) as the static
+    trials; results are byte-identical to running them serially.
+    """
     if "dynamic" not in _cache:
         # Keep the query budget an exact multiple of the window so no
         # partial final window concentrates the amortized overhead.
         window = max(150, DYNAMIC_BASE.peers)
         total = 6 * window
-        arms = {}
-        for name, kwargs in (
+        names_kwargs = (
             ("gnutella", dict(enable_ace=False)),
             ("ace", dict(enable_ace=True)),
             ("ace+cache", dict(enable_ace=True, enable_cache=True)),
-        ):
-            scenario = build_scenario(DYNAMIC_BASE)
-            arms[name] = run_dynamic_experiment(
-                scenario,
-                DynamicConfig(total_queries=total, window=window, **kwargs),
-            )
-        _cache["dynamic"] = arms
+        )
+        results = run_dynamic_trials(
+            [
+                (DYNAMIC_BASE,
+                 DynamicConfig(total_queries=total, window=window, **kwargs))
+                for _, kwargs in names_kwargs
+            ],
+            max_workers=repro_workers(),
+        )
+        _cache["dynamic"] = {
+            name: series for (name, _), series in zip(names_kwargs, results)
+        }
     return _cache["dynamic"]

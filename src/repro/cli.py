@@ -78,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the Gnutella-like arm only")
     p_dyn.add_argument("--cache", action="store_true",
                        help="also run the ACE + index cache arm")
+    p_dyn.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the treatment arms "
+                            "(default: the REPRO_WORKERS env knob); the "
+                            "underlay is shared zero-copy across workers")
 
     p_depth = sub.add_parser("depth", help="Figures 11-16 (depth sweep)")
     add_world_args(p_depth, peers=96)
@@ -154,9 +158,8 @@ def _cmd_static(args, out) -> int:
 
 
 def _cmd_dynamic(args, out) -> int:
-    from .experiments.dynamic_env import DynamicConfig, run_dynamic_experiment
+    from .experiments.dynamic_env import DynamicConfig, run_dynamic_trials
     from .experiments.reporting import format_series
-    from .experiments.setup import build_scenario
 
     window = max(1, args.queries // args.windows)
     total = window * args.windows
@@ -165,12 +168,18 @@ def _cmd_dynamic(args, out) -> int:
         arms.append(("ace", dict(enable_ace=True)))
         if args.cache:
             arms.append(("ace+cache", dict(enable_ace=True, enable_cache=True)))
-    results = {}
-    for name, kwargs in arms:
-        scenario = build_scenario(_scenario_config(args))
-        results[name] = run_dynamic_experiment(
-            scenario, DynamicConfig(total_queries=total, window=window, **kwargs)
-        )
+    # Independent arms fan out over REPRO_WORKERS / --workers processes; the
+    # underlay is shared zero-copy and worker perf counters are merged, so
+    # --perf reports the whole fleet.  Results are identical to serial.
+    series_list = run_dynamic_trials(
+        [
+            (_scenario_config(args),
+             DynamicConfig(total_queries=total, window=window, **kwargs))
+            for _, kwargs in arms
+        ],
+        max_workers=args.workers,
+    )
+    results = {name: series for (name, _), series in zip(arms, series_list)}
     x = list(range(1, args.windows + 1))
     print(format_series(
         f"queries (x{window})", x,

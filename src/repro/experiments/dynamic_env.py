@@ -11,6 +11,14 @@ The driver runs a discrete-event simulation: peer departures/arrivals from
 the churn model, Poisson query arrivals from the workload, and periodic ACE
 optimization rounds.  Optionally a per-peer response index cache (Section
 5.2's "ACE with index cache") is enabled on top.
+
+The treatment arms of Figures 9-10 — gnutella-like, ACE, ACE + index cache —
+are fully independent simulations, so :func:`run_dynamic_trials` fans them
+out through the same :mod:`~repro.experiments.parallel` harness as the
+static trials: one shared-memory underlay export, per-arm deterministic
+seeding from the :class:`~repro.experiments.setup.ScenarioConfig`, and
+worker perf counters merged back into the parent.  Results are
+byte-identical to running the arms serially.
 """
 
 from __future__ import annotations
@@ -29,9 +37,15 @@ from ..search.tree_routing import ace_strategy
 from ..sim.churn import ChurnConfig, ChurnModel
 from ..sim.engine import EventLoop
 from ..sim.workload import QueryWorkload
-from .setup import Scenario
+from .parallel import run_trials
+from .setup import Scenario, ScenarioConfig, build_scenario
 
-__all__ = ["DynamicConfig", "DynamicSeries", "run_dynamic_experiment"]
+__all__ = [
+    "DynamicConfig",
+    "DynamicSeries",
+    "run_dynamic_experiment",
+    "run_dynamic_trials",
+]
 
 
 @dataclass(frozen=True)
@@ -249,3 +263,42 @@ def run_dynamic_experiment(
     series.success_points = success_collector.points
     series.scope_points = scope_collector.points
     return series
+
+
+def _dynamic_trial(
+    payload: Tuple[ScenarioConfig, Optional[DynamicConfig]],
+) -> DynamicSeries:
+    """Worker entry point: build the arm's world from seed and simulate it.
+
+    The scenario is rebuilt per arm — over the process's attached
+    shared-memory underlay when one matches, from the seeded generator
+    otherwise — because :func:`run_dynamic_experiment` mutates the overlay
+    in place.  Seeding comes entirely from the (picklable) configs, so an
+    arm's result does not depend on which process ran it.
+    """
+    scenario_config, dynamic_config = payload
+    scenario = build_scenario(scenario_config)
+    return run_dynamic_experiment(scenario, dynamic_config)
+
+
+def run_dynamic_trials(
+    trials: Sequence[Tuple[ScenarioConfig, Optional[DynamicConfig]]],
+    max_workers: Optional[int] = None,
+) -> List[DynamicSeries]:
+    """Run one dynamic experiment per ``(scenario, dynamic)`` config pair.
+
+    The Figure 9/10 arms (gnutella / ace / ace+cache) are independent, so
+    they fan out over worker processes exactly like the static trials:
+    *max_workers* defaults to the ``REPRO_WORKERS`` environment knob, the
+    underlay crosses the process boundary via shared memory (never by
+    regeneration or pickling), per-arm seeding is deterministic from the
+    configs, and results come back in submission order — byte-identical to
+    a serial run.  Worker perf counters are merged into the parent's.
+    """
+    payloads = list(trials)
+    return run_trials(
+        _dynamic_trial,
+        payloads,
+        shared_underlays=[scenario for scenario, _ in payloads],
+        max_workers=max_workers,
+    )

@@ -1,0 +1,164 @@
+"""Generic parallel trial harness: one fan-out path for every experiment.
+
+PR 1 gave ``run_static_trials`` its own pool/submit/collect logic; this
+module hoists that into a single harness that the static driver, the dynamic
+arms, and the benchmark conftest all share, and upgrades it in three ways:
+
+* **Zero-copy worker setup.**  The parent builds each *distinct* underlay
+  (see :func:`repro.experiments.setup.underlay_key`) exactly once, exports
+  it to shared memory, and initializes every worker process with
+  :func:`repro.experiments.setup.attach_shared_underlays`.  Workers attach
+  read-only views of the CSR arrays instead of regenerating a 20,000-node
+  graph from seed per process — the regeneration that used to dominate
+  paper-scale wall-clock.
+* **Fleet-wide perf accounting.**  Each worker measures its trial as a
+  :meth:`counter delta <repro.perf.PerfCounters.delta>` and returns it with
+  the result; the parent :meth:`merges <repro.perf.PerfCounters.merge>`
+  every delta into the process-wide bag, so ``--perf`` and the budget gates
+  see the whole fleet's Dijkstra workload, not just the parent's.
+* **Leak-proof lifecycle.**  Segments are unlinked in a ``finally`` that
+  covers worker exceptions and pool teardown; the
+  :class:`~repro.topology.shm.SharedUnderlay` atexit guard (PID-keyed)
+  backstops hard exits.  A failed trial cannot leave segments behind —
+  pinned by ``tests/experiments/test_parallel.py``.
+
+Determinism: each payload is self-contained (a seeded config), workers are
+pure functions of their payload, and results come back in submission order —
+so a run with ``REPRO_WORKERS=8`` is byte-identical to the same run inline.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+from ..perf import counters
+from ..topology.shm import SharedUnderlay
+from .setup import (
+    ScenarioConfig,
+    UnderlayKey,
+    attach_shared_underlays,
+    build_underlay,
+    repro_workers,
+    underlay_key,
+)
+
+__all__ = ["run_trials", "run_trials_detailed"]
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+#: One worker's measurement of its trial: a mergeable counter delta.
+PerfSnapshot = Dict[str, Union[int, float]]
+
+
+def _run_task(item: Tuple[Callable[[Any], Any], Any]) -> Tuple[Any, PerfSnapshot]:
+    """Worker entry point: run one trial and measure its counter delta."""
+    task, payload = item
+    before = counters.copy()
+    result = task(payload)
+    return result, counters.delta(before)
+
+
+def _export_underlays(
+    configs: Sequence[ScenarioConfig],
+) -> Dict[UnderlayKey, SharedUnderlay]:
+    """Build and export each distinct underlay among *configs* once.
+
+    On any failure the already-exported segments are unlinked before the
+    exception propagates — a half-exported fleet never leaks.
+    """
+    exports: Dict[UnderlayKey, SharedUnderlay] = {}
+    try:
+        for config in configs:
+            key = underlay_key(config)
+            if key in exports:
+                continue
+            exports[key] = build_underlay(config).export_shared()
+    except BaseException:
+        for shared in exports.values():
+            shared.unlink()
+        raise
+    return exports
+
+
+def run_trials_detailed(
+    task: Callable[[P], R],
+    payloads: Sequence[P],
+    shared_underlays: Sequence[ScenarioConfig] = (),
+    max_workers: Optional[int] = None,
+) -> Tuple[List[R], List[PerfSnapshot]]:
+    """Run *task* over *payloads*, returning results and per-trial perf.
+
+    *task* must be a module-level callable (pickled by reference) and each
+    payload must be small and picklable — a seeded config, never a built
+    topology (replint REP005 enforces this structurally).
+
+    *shared_underlays* lists the scenario configs whose underlays the trials
+    will build; each distinct :func:`underlay_key` is generated once in the
+    parent, exported to shared memory, and attached by every worker's
+    initializer.  Leave it empty to skip sharing (e.g. payloads that build
+    no scenario).
+
+    *max_workers* defaults to the ``REPRO_WORKERS`` environment knob; ``1``
+    runs everything inline in this process with no pool, no export and no
+    fork — bit-identical results either way, since every trial is a pure
+    function of its payload.
+
+    Returns ``(results, perf_snapshots)`` in payload order.  Parallel
+    snapshots are merged into this process's :data:`repro.perf.counters`
+    (inline trials already incremented them directly), so fleet totals are
+    always visible to ``--perf`` whatever the worker count.
+    """
+    items = [(task, payload) for payload in payloads]
+    workers = repro_workers() if max_workers is None else max_workers
+    if workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    workers = min(workers, len(items))
+    if workers <= 1:
+        pairs = [_run_task(item) for item in items]
+        return [r for r, _ in pairs], [snap for _, snap in pairs]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    exports = _export_underlays(shared_underlays)
+    try:
+        handles = {key: shared.handle for key, shared in exports.items()}
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=attach_shared_underlays,
+            initargs=(handles,),
+        ) as pool:
+            pairs = list(pool.map(_run_task, items))
+    finally:
+        for shared in exports.values():
+            shared.unlink()
+    results: List[R] = []
+    snapshots: List[PerfSnapshot] = []
+    for result, snap in pairs:
+        counters.merge(snap)
+        results.append(result)
+        snapshots.append(snap)
+    return results, snapshots
+
+
+def run_trials(
+    task: Callable[[P], R],
+    payloads: Sequence[P],
+    shared_underlays: Sequence[ScenarioConfig] = (),
+    max_workers: Optional[int] = None,
+) -> List[R]:
+    """Like :func:`run_trials_detailed`, returning just the results."""
+    results, _ = run_trials_detailed(
+        task, payloads, shared_underlays=shared_underlays, max_workers=max_workers
+    )
+    return results

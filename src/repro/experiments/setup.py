@@ -6,16 +6,27 @@ workload — differing only in parameters.  :func:`build_scenario` constructs
 all of it reproducibly from one seed, and :class:`ScenarioConfig.scaled`
 honors the ``REPRO_SCALE`` environment knob so the benchmark harness can run
 laptop-sized by default and paper-sized on demand.
+
+Worker processes do not regenerate the underlay.  The parallel harness
+(:mod:`repro.experiments.parallel`) exports each distinct underlay to shared
+memory once and initializes every worker with
+:func:`attach_shared_underlays`; :func:`build_scenario` then finds the
+attached topology in the per-process registry (keyed by
+:func:`underlay_key`) and only builds the cheap per-trial layers — overlay,
+catalog, RNG streams — on top of it.  The RNG seed-spawning is identical on
+both paths, so a scenario built over an attached underlay is byte-identical
+to one built from scratch.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..perf import counters
 from ..sim.workload import ObjectCatalog, QueryWorkload, WorkloadConfig
 from ..topology import generators
 from ..topology.overlay import (
@@ -25,11 +36,18 @@ from ..topology.overlay import (
     small_world_overlay,
 )
 from ..topology.physical import PhysicalTopology
+from ..topology.shm import SharedTopologyHandle
 
 __all__ = [
     "ScenarioConfig",
     "Scenario",
     "build_scenario",
+    "build_underlay",
+    "underlay_key",
+    "UnderlayKey",
+    "attach_shared_underlays",
+    "attached_underlay_count",
+    "clear_attached_underlays",
     "repro_scale",
     "repro_workers",
 ]
@@ -136,12 +154,102 @@ class Scenario:
         return [peers[int(i)] for i in idx]
 
 
-def build_scenario(config: ScenarioConfig) -> Scenario:
+#: Identity of an underlay independent of overlay/workload parameters: two
+#: configs with the same key deterministically generate the same graph.
+UnderlayKey = Tuple[str, int, int]
+
+#: Per-process registry of shared-memory handles offered to this process
+#: (pool initializer) and of the underlays actually attached from them.
+#: Attachment is lazy — a worker maps only the underlays its trials touch —
+#: and cached, so each segment set is mapped at most once per process.
+_SHARED_HANDLES: Dict[UnderlayKey, SharedTopologyHandle] = {}
+_ATTACHED_UNDERLAYS: Dict[UnderlayKey, PhysicalTopology] = {}
+
+
+def underlay_key(config: ScenarioConfig) -> UnderlayKey:
+    """The underlay identity of *config* (generator kind, size, seed).
+
+    The underlay RNG stream is spawned from the scenario seed independently
+    of the overlay/workload streams, so every config sharing this key builds
+    the identical physical graph — which is what makes one shared-memory
+    export reusable across e.g. a sweep over average degrees.
+    """
+    return (config.underlay, config.physical_nodes, config.seed)
+
+
+def build_underlay(config: ScenarioConfig) -> PhysicalTopology:
+    """Generate just the physical underlay of *config*, deterministically.
+
+    Uses the same spawned seed stream as :func:`build_scenario`, so the
+    graph is identical to the one a full scenario build would produce.
+    """
+    if config.underlay not in _UNDERLAYS:
+        raise ValueError(
+            f"unknown underlay {config.underlay!r}; choose from {sorted(_UNDERLAYS)}"
+        )
+    underlay_seed = np.random.SeedSequence(config.seed).spawn(4)[0]
+    counters.underlay_builds += 1
+    return _UNDERLAYS[config.underlay](
+        config.physical_nodes, np.random.default_rng(underlay_seed)
+    )
+
+
+def attach_shared_underlays(
+    handles: Mapping[UnderlayKey, SharedTopologyHandle],
+) -> None:
+    """Process-pool initializer: register exported underlays for this worker.
+
+    Registration is cheap (the handles are a few hundred bytes each); the
+    actual segment mapping happens lazily, the first time
+    :func:`build_scenario` needs a given key, and is cached for the rest of
+    the process's life.  A worker therefore maps only the underlays its
+    trials touch, never regenerates one, and — because the attach happens
+    inside a trial — the attach shows up in that trial's perf snapshot and
+    survives the merge back into the parent's fleet-wide counters.
+    """
+    _SHARED_HANDLES.update(handles)
+
+
+def _attached_underlay(key: UnderlayKey) -> Optional[PhysicalTopology]:
+    """The attached underlay for *key*, mapping its segments on first use."""
+    physical = _ATTACHED_UNDERLAYS.get(key)
+    if physical is None:
+        handle = _SHARED_HANDLES.get(key)
+        if handle is not None:
+            physical = PhysicalTopology.attach_shared(handle)
+            _ATTACHED_UNDERLAYS[key] = physical
+    return physical
+
+
+def attached_underlay_count() -> int:
+    """How many shared underlays this process has attached (for tests)."""
+    return len(_ATTACHED_UNDERLAYS)
+
+
+def clear_attached_underlays() -> None:
+    """Drop this process's handle and attached-underlay registries.
+
+    Dropping the registry releases the attached instances and thereby this
+    process's segment mappings; the exporter's segments are untouched.
+    """
+    _SHARED_HANDLES.clear()
+    _ATTACHED_UNDERLAYS.clear()
+
+
+def build_scenario(
+    config: ScenarioConfig, physical: Optional[PhysicalTopology] = None
+) -> Scenario:
     """Construct a scenario deterministically from its config.
 
     Independent RNG streams (via ``numpy`` seed sequences) are used for the
     underlay, overlay, workload and runtime randomness, so changing e.g. the
     overlay degree does not perturb the underlay.
+
+    The underlay itself is resolved in priority order: an explicitly passed
+    *physical* (caller asserts it matches the config), this process's
+    attached shared-memory registry, and finally the seeded generator.  All
+    three paths yield the identical graph, so results do not depend on which
+    one served the scenario.
     """
     if config.underlay not in _UNDERLAYS:
         raise ValueError(
@@ -156,7 +264,11 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
     underlay_rng, overlay_rng, workload_rng, run_rng = (
         np.random.default_rng(s) for s in seeds
     )
-    physical = _UNDERLAYS[config.underlay](config.physical_nodes, underlay_rng)
+    if physical is None:
+        physical = _attached_underlay(underlay_key(config))
+    if physical is None:
+        counters.underlay_builds += 1
+        physical = _UNDERLAYS[config.underlay](config.physical_nodes, underlay_rng)
     overlay = _OVERLAYS[config.overlay_kind](
         physical, config.peers, avg_degree=config.avg_degree, rng=overlay_rng
     )

@@ -13,9 +13,11 @@ queries.  Step 0 is the unoptimized overlay under blind flooding — the
 baseline both figures normalize against.
 
 :func:`run_static_trials` fans independent trials (different configs/seeds)
-out over a process pool: each worker rebuilds its scenario from the small,
-picklable :class:`~repro.experiments.setup.ScenarioConfig`, so the big
-topology objects never cross a process boundary.
+out through the shared :mod:`~repro.experiments.parallel` harness: only the
+small, picklable :class:`~repro.experiments.setup.ScenarioConfig` crosses
+the process boundary, workers attach the underlay zero-copy from shared
+memory instead of regenerating it, and each worker's perf-counter delta is
+merged back into the parent's totals.
 """
 
 from __future__ import annotations
@@ -29,7 +31,8 @@ from ..core.ace import AceConfig, AceProtocol
 from ..search.flooding import blind_flooding_strategy, run_query
 from ..search.tree_routing import ace_strategy
 from ..sim.workload import ObjectCatalog
-from .setup import Scenario, ScenarioConfig, build_scenario, repro_workers
+from .parallel import run_trials
+from .setup import Scenario, ScenarioConfig, build_scenario
 
 __all__ = [
     "StaticSeries",
@@ -180,21 +183,18 @@ def run_static_trials(
 ) -> List[StaticSeries]:
     """Run one static experiment per config, fanning out over processes.
 
-    Each trial is independent (its own scenario, rebuilt from seed inside
-    the worker), so results are identical whatever the worker count.
-    *max_workers* defaults to the ``REPRO_WORKERS`` environment knob; ``1``
-    runs everything inline in this process.
+    Each trial is independent (its own scenario, built from seed over the
+    shared underlay inside the worker), so results are byte-identical
+    whatever the worker count.  *max_workers* defaults to the
+    ``REPRO_WORKERS`` environment knob; ``1`` runs everything inline in
+    this process.  Worker perf counters are merged into the parent's.
     """
     payloads = [
         (config, steps, ace_config, query_samples, ttl) for config in configs
     ]
-    workers = repro_workers() if max_workers is None else max_workers
-    if workers < 1:
-        raise ValueError("max_workers must be >= 1")
-    workers = min(workers, len(payloads))
-    if workers <= 1:
-        return [_static_trial(p) for p in payloads]
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_static_trial, payloads))
+    return run_trials(
+        _static_trial,
+        payloads,
+        shared_underlays=configs,
+        max_workers=max_workers,
+    )

@@ -16,18 +16,27 @@ counters that the engine layers increment as they work:
   accumulates wall-clock time, so ``queries_per_second`` reports end-to-end
   simulation throughput.
 
-Counters are plain module-global state: increments are cheap, and the
-process-per-trial experiment fan-out keeps each worker's counters isolated.
-Use :func:`reset_counters` (or ``counters.reset()``) at the start of a
-measurement region and :meth:`PerfCounters.snapshot` / ``counters - before``
-style deltas at the end.
+Counters are plain module-global state: increments are cheap and each
+process owns its own bag.  Use :func:`reset_counters` (or
+``counters.reset()``) at the start of a measurement region and
+:meth:`PerfCounters.snapshot` / ``counters - before`` style deltas at the
+end.
+
+Snapshots are **mergeable**: a worker process measures its trial with
+``before = counters.copy()`` / ``counters.delta(before)`` and ships the
+delta dict home with its result, and the parent folds it in with
+:meth:`PerfCounters.merge`.  Accumulators add, the ``largest_batch``
+high-water mark maxes, and derived rates are recomputed — so ``--perf``
+and the budget gates report fleet-wide totals instead of silently dropping
+worker-side Dijkstra counts (see
+:func:`repro.experiments.parallel.run_trials`).
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Union
+from typing import Dict, Mapping, Union
 
 __all__ = ["PerfCounters", "counters", "get_counters", "reset_counters"]
 
@@ -54,6 +63,10 @@ class PerfCounters:
     queries: int = 0
     #: Wall-clock seconds spent inside ``propagate``.
     query_seconds: float = 0.0
+    #: Underlay graphs built by running a generator from the seeded config.
+    underlay_builds: int = 0
+    #: Underlay graphs attached zero-copy from shared memory instead.
+    underlay_attaches: int = 0
 
     # ------------------------------------------------------------------
 
@@ -93,6 +106,23 @@ class PerfCounters:
         """Independent copy of the current values."""
         return dataclasses.replace(self)
 
+    def merge(self, snapshot: Mapping[str, Union[int, float]]) -> None:
+        """Fold another process's snapshot/delta into this bag, in place.
+
+        Accumulators add; ``largest_batch`` (a high-water mark) takes the
+        max; derived keys like ``queries_per_second`` are ignored and
+        recomputed from the merged totals.  Unknown keys are ignored so
+        snapshots from newer/older workers stay compatible.
+        """
+        for f in dataclasses.fields(self):
+            value = snapshot.get(f.name)
+            if value is None:
+                continue
+            if f.name == "largest_batch":
+                self.largest_batch = max(self.largest_batch, int(value))
+            else:
+                setattr(self, f.name, getattr(self, f.name) + value)
+
     def format(self) -> str:
         """Human-readable multi-line rendering for CLI/bench output."""
         lines = ["perf counters:"]
@@ -112,6 +142,10 @@ class PerfCounters:
         lines.append(
             f"  queries: {self.queries} in {self.query_seconds:.3f}s "
             f"({self.queries_per_second:.0f}/s)"
+        )
+        lines.append(
+            f"  underlays: {self.underlay_builds} built, "
+            f"{self.underlay_attaches} attached from shared memory"
         )
         return "\n".join(lines)
 

@@ -1,0 +1,195 @@
+"""Zero-copy shared-memory transport for the immutable underlay.
+
+The process-pool experiment fan-out used to rebuild the entire underlay from
+its seeded config in every worker — at paper scale (20,000 nodes) that
+per-worker generator run dominates wall-clock.  The underlay is *immutable*
+after construction, so instead of recomputing it per process we place its
+CSR arrays (``indptr``/``indices``/``data``) and node coordinates into named
+``multiprocessing.shared_memory`` segments once, in the parent, and let each
+worker map the same physical pages read-only:
+
+* :meth:`PhysicalTopology.export_shared
+  <repro.topology.physical.PhysicalTopology.export_shared>` copies the
+  arrays into fresh segments and returns a :class:`SharedUnderlay` that
+  *owns* them (the only object allowed to unlink);
+* the small, picklable :class:`SharedTopologyHandle` travels to workers
+  (pool initializer args);
+* :meth:`PhysicalTopology.attach_shared
+  <repro.topology.physical.PhysicalTopology.attach_shared>` maps the
+  segments **zero-copy** — the attached numpy arrays are read-only views of
+  the shared buffers, and the CSR matrix is rebuilt around them without
+  copying.
+
+Lifecycle discipline (the part that prevents ``/dev/shm`` leaks):
+
+* The exporting process is the single owner.  :class:`SharedUnderlay` is a
+  context manager whose exit *unlinks*; an ``atexit`` hook (guarded by the
+  creating PID, so forked children can never fire it) catches hard exits,
+  and :meth:`~SharedUnderlay.unlink` is idempotent.
+* Attachers only ever *close* (unmap), never unlink.  Pool workers share
+  the parent's ``resource_tracker`` process (the fd is inherited for both
+  fork and spawn starts), so the attach-side registration Python < 3.13
+  performs is a harmless duplicate in the tracker's name *set* — and it
+  means a crashed fleet still gets its segments reaped by the tracker at
+  shutdown.  Do **not** ``resource_tracker.unregister`` on attach: with a
+  shared tracker that deletes the *creator's* registration and turns the
+  later legitimate unlink into tracker noise.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from types import TracebackType
+from typing import Dict, List, Mapping, Optional, Tuple, Type
+
+import numpy as np
+
+__all__ = [
+    "SharedArraySpec",
+    "SharedTopologyHandle",
+    "SharedUnderlay",
+    "export_arrays",
+    "attach_array",
+]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Location and layout of one numpy array in a shared segment."""
+
+    #: Name of the ``multiprocessing.shared_memory`` segment.
+    name: str
+    #: Numpy dtype string (``arr.dtype.str``), preserving byte order.
+    dtype: str
+    #: Array shape; the attached view reproduces it exactly.
+    shape: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SharedTopologyHandle:
+    """Picklable description of one exported underlay.
+
+    Everything a worker needs to rebuild a functioning
+    :class:`~repro.topology.physical.PhysicalTopology` around the shared
+    CSR arrays — a few hundred bytes, whatever the underlay size.
+    """
+
+    num_nodes: int
+    cache_size: int
+    indptr: SharedArraySpec
+    indices: SharedArraySpec
+    data: SharedArraySpec
+    coordinates: Optional[SharedArraySpec] = None
+
+
+def _export_array(arr: np.ndarray) -> Tuple[shared_memory.SharedMemory, SharedArraySpec]:
+    """Copy *arr* into a fresh shared segment, returning (segment, spec)."""
+    arr = np.ascontiguousarray(arr)
+    seg = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    view: np.ndarray = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+    view[...] = arr
+    return seg, SharedArraySpec(name=seg.name, dtype=arr.dtype.str, shape=arr.shape)
+
+
+def export_arrays(
+    arrays: Mapping[str, np.ndarray],
+) -> Tuple[List[shared_memory.SharedMemory], Dict[str, SharedArraySpec]]:
+    """Export several arrays, unwinding cleanly if any allocation fails."""
+    segments: List[shared_memory.SharedMemory] = []
+    specs: Dict[str, SharedArraySpec] = {}
+    try:
+        for key, arr in arrays.items():
+            seg, spec = _export_array(arr)
+            segments.append(seg)
+            specs[key] = spec
+    except BaseException:
+        for seg in segments:
+            seg.close()
+            seg.unlink()
+        raise
+    return segments, specs
+
+
+def attach_array(
+    spec: SharedArraySpec,
+) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Map an exported array read-only, without copying.
+
+    The returned segment must be kept alive as long as the array view is in
+    use (the view borrows its buffer).  Attachers unmap (``close``); only
+    the exporting :class:`SharedUnderlay` ever unlinks.
+    """
+    seg = shared_memory.SharedMemory(name=spec.name)
+    view: np.ndarray = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf)
+    view.flags.writeable = False
+    return seg, view
+
+
+class SharedUnderlay:
+    """Owner of one exported underlay's shared-memory segments.
+
+    Created by :meth:`PhysicalTopology.export_shared
+    <repro.topology.physical.PhysicalTopology.export_shared>`.  Use as a
+    context manager (``with phys.export_shared() as shared: ...``) or call
+    :meth:`unlink` in a ``finally`` — either way the segments are removed
+    exactly once.  An ``atexit`` guard backstops hard exits; it is keyed to
+    the creating PID so a forked worker that inherited this object can
+    never destroy the parent's segments.
+    """
+
+    def __init__(
+        self,
+        handle: SharedTopologyHandle,
+        segments: List[shared_memory.SharedMemory],
+    ) -> None:
+        self._handle = handle
+        self._segments = segments
+        self._owner_pid = os.getpid()
+        self._unlinked = False
+        atexit.register(self._atexit_unlink)
+
+    @property
+    def handle(self) -> SharedTopologyHandle:
+        """The picklable handle workers attach from."""
+        return self._handle
+
+    @property
+    def segment_names(self) -> List[str]:
+        """Names of the owned segments (for leak checks in tests)."""
+        return [seg.name for seg in self._segments]
+
+    def _atexit_unlink(self) -> None:
+        if os.getpid() == self._owner_pid:
+            self.unlink()
+
+    def unlink(self) -> None:
+        """Unmap and remove every owned segment (idempotent)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        atexit.unregister(self._atexit_unlink)
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already removed
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SharedUnderlay":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "unlinked" if self._unlinked else f"{len(self._segments)} segments"
+        return f"SharedUnderlay(num_nodes={self._handle.num_nodes}, {state})"

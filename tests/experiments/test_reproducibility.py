@@ -9,9 +9,13 @@ the same :class:`ScenarioConfig` must produce byte-identical metric dicts.
 import dataclasses
 import json
 
-from repro.experiments.dynamic_env import DynamicConfig, run_dynamic_experiment
+from repro.experiments.dynamic_env import (
+    DynamicConfig,
+    run_dynamic_experiment,
+    run_dynamic_trials,
+)
 from repro.experiments.setup import ScenarioConfig, build_scenario
-from repro.experiments.static_env import run_static_experiment
+from repro.experiments.static_env import run_static_experiment, run_static_trials
 from repro.rng import DEFAULT_SEED, ensure_rng
 
 CONFIG = ScenarioConfig(physical_nodes=200, peers=40, avg_degree=6, seed=5)
@@ -46,6 +50,38 @@ class TestDynamicReproducibility:
             run_dynamic_experiment(build_scenario(CONFIG), dyn) for _ in range(2)
         ]
         assert as_bytes(runs[0]) == as_bytes(runs[1])
+
+
+class TestParallelMatchesSerial:
+    """Worker-count invariance: the fan-out must not perturb a single bit.
+
+    Parallel trials rebuild their scenario over a shared-memory underlay
+    attached inside the worker; serial trials build everything inline.  Both
+    paths seed identically from the config, so the results must be
+    byte-identical — the determinism guarantee the parallel harness
+    advertises.
+    """
+
+    def test_static_trials_parallel_is_byte_identical_to_serial(self):
+        configs = [CONFIG, dataclasses.replace(CONFIG, avg_degree=8.0)]
+        serial = run_static_trials(configs, steps=2, query_samples=6, max_workers=1)
+        parallel = run_static_trials(configs, steps=2, query_samples=6, max_workers=2)
+        assert [as_bytes(s) for s in serial] == [as_bytes(p) for p in parallel]
+
+    def test_dynamic_trials_parallel_is_byte_identical_to_serial(self):
+        arms = [
+            (CONFIG, DynamicConfig(total_queries=90, window=30, enable_ace=False)),
+            (CONFIG, DynamicConfig(total_queries=90, window=30)),
+        ]
+        serial = run_dynamic_trials(arms, max_workers=1)
+        parallel = run_dynamic_trials(arms, max_workers=2)
+        assert [as_bytes(s) for s in serial] == [as_bytes(p) for p in parallel]
+
+    def test_parallel_dynamic_arm_matches_direct_experiment(self):
+        dyn = DynamicConfig(total_queries=90, window=30)
+        direct = run_dynamic_experiment(build_scenario(CONFIG), dyn)
+        (via_harness,) = run_dynamic_trials([(CONFIG, dyn)], max_workers=1)
+        assert as_bytes(direct) == as_bytes(via_harness)
 
 
 class TestEnsureRngFallback:

@@ -1,0 +1,22 @@
+"""Fixture: built topologies pickled into pool submissions (REP005)."""
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.experiments.setup import build_scenario, build_underlay
+from repro.topology.physical import PhysicalTopology
+
+
+def submit_tracked_name(pool, config):
+    physical = build_underlay(config)
+    return pool.submit(len, physical)
+
+
+def map_scenario_attribute(pool, scenario):
+    return pool.map(len, [scenario.physical])
+
+
+def submit_annotated_param(pool, world: PhysicalTopology):
+    return pool.apply_async(len, (world,))
+
+
+def submit_inline_build(pool, config):
+    return pool.submit(len, build_scenario(config))

@@ -1,0 +1,27 @@
+"""Fixture: only seeded configs cross the boundary; underlay via shm."""
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.experiments.setup import (
+    attach_shared_underlays,
+    build_underlay,
+    underlay_key,
+)
+
+
+def _trial(config):
+    return config.seed
+
+
+def fan_out(configs):
+    exports = {
+        underlay_key(c): build_underlay(c).export_shared() for c in configs
+    }
+    handles = {key: shared.handle for key, shared in exports.items()}
+    try:
+        with ProcessPoolExecutor(
+            initializer=attach_shared_underlays, initargs=(handles,)
+        ) as pool:
+            return list(pool.map(_trial, configs))
+    finally:
+        for shared in exports.values():
+            shared.unlink()

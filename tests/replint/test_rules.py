@@ -119,6 +119,44 @@ class TestPerfHygiene:
         assert check_file(helper, [rules_by_code()["REP004"]]) == []
 
 
+class TestNoTopologyPickling:
+    def test_bad_fixture_catches_every_pickling_route(self):
+        violations = run_rule(
+            "REP005", "src/repro/experiments/rep005_bad.py"
+        )
+        assert all(v.code == "REP005" for v in violations)
+        # a name bound from build_underlay(), a scenario's .physical
+        # attribute, a PhysicalTopology-annotated parameter, and an inline
+        # build_scenario() inside the submission.
+        assert lines(violations) == [10, 14, 18, 22]
+
+    def test_message_points_at_the_shared_memory_path(self):
+        violations = run_rule(
+            "REP005", "src/repro/experiments/rep005_bad.py"
+        )
+        assert all(
+            "export_shared" in v.message and "attach_shared" in v.message
+            for v in violations
+        )
+
+    def test_good_fixture_is_clean(self):
+        # The sanctioned shape: configs in submissions, handles in the
+        # initializer, export/unlink owned by the parent.
+        assert (
+            run_rule("REP005", "src/repro/experiments/rep005_good.py") == []
+        )
+
+    def test_rule_only_audits_importable_modules(self, tmp_path):
+        # Tests pickle topologies on purpose (round-trip coverage); outside
+        # a src/ root the rule stays quiet.
+        source = (
+            FIXTURES / "src/repro/experiments/rep005_bad.py"
+        ).read_text()
+        helper = tmp_path / "helper.py"
+        helper.write_text(source)
+        assert check_file(helper, [rules_by_code()["REP005"]]) == []
+
+
 class TestSuppressions:
     def test_fully_suppressed_fixture_is_clean(self):
         assert check_file(FIXTURES / "suppressed.py", default_rules()) == []

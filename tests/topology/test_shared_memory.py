@@ -1,0 +1,158 @@
+"""Shared-memory underlay transport: round-trip fidelity and lifecycle.
+
+Pins the tentpole guarantees of :mod:`repro.topology.shm`:
+
+* export → attach reproduces the CSR arrays (and everything derived from
+  them) exactly, with zero-copy read-only views on the attach side;
+* the exporting :class:`SharedUnderlay` is the single owner — unlink is
+  idempotent, context-manager exit unlinks even on exceptions, and a
+  half-failed export never leaves segments behind.
+"""
+
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.setup import ScenarioConfig, build_underlay
+from repro.perf import counters
+from repro.topology.physical import PhysicalTopology
+from repro.topology.shm import attach_array, export_arrays
+
+CONFIG = ScenarioConfig(physical_nodes=150, peers=24, avg_degree=6, seed=11)
+
+
+def _segment_exists(name: str) -> bool:
+    """Whether a named shared segment can still be attached."""
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+def _psm_segments() -> set:
+    """Names of live POSIX shared-memory segments (Linux observation point)."""
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        pytest.skip("needs /dev/shm to observe segment lifecycle")
+    return {p.name for p in root.iterdir() if p.name.startswith("psm_")}
+
+
+class TestArrayRoundTrip:
+    def test_export_attach_preserves_values_dtype_and_shape(self):
+        arrays = {
+            "ints": np.arange(13, dtype=np.int32),
+            "floats": np.linspace(0.0, 2.5, 7, dtype=np.float64),
+            "grid": np.arange(12, dtype=np.float64).reshape(4, 3),
+        }
+        segments, specs = export_arrays(arrays)
+        attached = []
+        try:
+            for key, original in arrays.items():
+                seg, view = attach_array(specs[key])
+                attached.append(seg)
+                np.testing.assert_array_equal(view, original)
+                assert view.dtype == original.dtype
+                assert view.shape == original.shape
+        finally:
+            for seg in attached:
+                seg.close()
+            for seg in segments:
+                seg.close()
+                seg.unlink()
+
+    def test_attached_view_is_read_only_and_zero_copy(self):
+        segments, specs = export_arrays({"a": np.arange(8, dtype=np.float64)})
+        seg, view = attach_array(specs["a"])
+        try:
+            assert not view.flags.writeable
+            assert not view.flags.owndata  # borrows the shared buffer
+            with pytest.raises(ValueError):
+                view[0] = 99.0
+        finally:
+            seg.close()
+            for owned in segments:
+                owned.close()
+                owned.unlink()
+
+    def test_failed_export_unwinds_earlier_segments(self):
+        class Unconvertible:
+            def __array__(self, dtype=None, copy=None):
+                raise RuntimeError("cannot export this")
+
+        before = _psm_segments()
+        with pytest.raises(RuntimeError, match="cannot export"):
+            export_arrays(
+                {"good": np.arange(64, dtype=np.int32), "bad": Unconvertible()}
+            )
+        assert _psm_segments() <= before  # the good segment was unlinked
+
+
+class TestTopologyRoundTrip:
+    @pytest.fixture(scope="class")
+    def physical(self):
+        return build_underlay(CONFIG)
+
+    def test_attached_topology_matches_exporter(self, physical):
+        with physical.export_shared() as shared:
+            attached = PhysicalTopology.attach_shared(shared.handle)
+            assert attached.is_attached
+            assert not physical.is_attached
+            assert attached.num_nodes == physical.num_nodes
+            assert attached.num_edges == physical.num_edges
+            assert sorted(attached.edges()) == sorted(physical.edges())
+            np.testing.assert_array_equal(attached.degrees(), physical.degrees())
+            for source in (0, physical.num_nodes // 2, physical.num_nodes - 1):
+                np.testing.assert_array_equal(
+                    attached.delays_from(source), physical.delays_from(source)
+                )
+            u, v, delay = next(iter(physical.edges()))
+            assert attached.has_edge(u, v)
+            assert attached.link_delay(u, v) == delay
+
+    def test_attach_increments_perf_counter(self, physical):
+        with physical.export_shared() as shared:
+            before = counters.copy()
+            PhysicalTopology.attach_shared(shared.handle)
+            assert counters.delta(before)["underlay_attaches"] == 1
+
+    def test_handle_is_small_and_picklable(self, physical):
+        import pickle
+
+        with physical.export_shared() as shared:
+            blob = pickle.dumps(shared.handle)
+            assert len(blob) < 4096  # the whole point: no topology pickling
+            assert pickle.loads(blob) == shared.handle
+
+
+class TestLifecycle:
+    @pytest.fixture()
+    def physical(self):
+        return build_underlay(CONFIG)
+
+    def test_unlink_removes_segments_and_is_idempotent(self, physical):
+        shared = physical.export_shared()
+        names = shared.segment_names
+        assert names and all(_segment_exists(n) for n in names)
+        shared.unlink()
+        assert not any(_segment_exists(n) for n in names)
+        shared.unlink()  # second call is a no-op, not an error
+
+    def test_context_manager_unlinks_on_exception(self, physical):
+        names = []
+        with pytest.raises(RuntimeError, match="trial exploded"):
+            with physical.export_shared() as shared:
+                names = shared.segment_names
+                assert all(_segment_exists(n) for n in names)
+                raise RuntimeError("trial exploded")
+        assert names and not any(_segment_exists(n) for n in names)
+
+    def test_attach_after_unlink_raises(self, physical):
+        shared = physical.export_shared()
+        handle = shared.handle
+        shared.unlink()
+        with pytest.raises(FileNotFoundError):
+            PhysicalTopology.attach_shared(handle)

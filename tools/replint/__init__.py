@@ -1,10 +1,12 @@
 """replint — the repro repository's AST-based invariant checker.
 
-Four rule families enforce what code review used to: **REP001** determinism
+Five rule families enforce what code review used to: **REP001** determinism
 (seeded, threaded randomness), **REP002** cache coherence (the overlay /
 underlay cache contracts from ``docs/PERFORMANCE.md``), **REP003** layering
 (substrate never imports drivers), **REP004** perf hygiene (batched delay
-lookups, not in-loop scalar faults).  See ``docs/STATIC_ANALYSIS.md``.
+lookups, not in-loop scalar faults), **REP005** no topology pickling (the
+underlay crosses process boundaries via shared memory, never pickled into
+pool submissions).  See ``docs/STATIC_ANALYSIS.md``.
 
 Usage::
 

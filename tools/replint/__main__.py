@@ -20,7 +20,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based invariant checker for the repro codebase: "
             "determinism (REP001), cache coherence (REP002), layering "
-            "(REP003), perf hygiene (REP004)."
+            "(REP003), perf hygiene (REP004), no topology pickling "
+            "(REP005)."
         ),
     )
     parser.add_argument(

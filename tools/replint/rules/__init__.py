@@ -7,6 +7,8 @@ REP001    determinism             randomness is seeded and threaded, never ambie
 REP002    cache-coherence         delay/cost caches are touched only by their owners
 REP003    layering                topology/sim never import experiment-layer modules
 REP004    perf-hygiene            no per-element delay/cost lookups inside loops
+REP005    no-topology-pickling    built topologies reach workers via shared memory,
+                                  never pickled into pool submissions
 ========  ======================  =====================================================
 
 ``REP000`` is reserved for parse errors (emitted by the engine, not a rule).
@@ -21,6 +23,7 @@ from ..engine import Rule
 from .cache_coherence import CacheCoherenceRule
 from .determinism import DeterminismRule
 from .layering import LayeringRule
+from .no_topology_pickling import NoTopologyPicklingRule
 from .perf_hygiene import PerfHygieneRule
 
 __all__ = [
@@ -28,6 +31,7 @@ __all__ = [
     "CacheCoherenceRule",
     "LayeringRule",
     "PerfHygieneRule",
+    "NoTopologyPicklingRule",
     "default_rules",
     "rules_by_code",
 ]
@@ -40,6 +44,7 @@ def default_rules() -> List[Rule]:
         CacheCoherenceRule(),
         LayeringRule(),
         PerfHygieneRule(),
+        NoTopologyPicklingRule(),
     ]
 
 

@@ -1,0 +1,198 @@
+"""REP005 — built topologies never cross the process boundary by pickle.
+
+The parallel harness's contract (``docs/PERFORMANCE.md``) is that only
+small, seeded configs travel to worker processes: each distinct underlay is
+built once in the parent, exported with
+``PhysicalTopology.export_shared()``, and mapped zero-copy by the workers'
+``attach_shared_underlays`` initializer.  Passing a built
+``PhysicalTopology`` (or a ``Scenario`` carrying one) into an executor
+submission silently re-serialises the whole CSR graph per task — at paper
+scale (20,000 nodes) that is megabytes of pickle per trial and exactly the
+overhead the shared-memory path exists to remove.
+
+The rule flags, inside importable ``src/`` modules, any pool-submission
+call (``.submit``/``.map``/``.apply_async``/…) whose arguments mention
+
+* a name bound from ``PhysicalTopology(...)``, ``attach_shared(...)``,
+  ``build_underlay(...)`` or ``build_scenario(...)`` in an enclosing scope,
+* a parameter annotated ``PhysicalTopology`` or ``Scenario``, or
+* such a constructor call written inline, or a ``.physical`` attribute.
+
+Ship the :class:`~repro.experiments.setup.ScenarioConfig` instead and let
+:mod:`repro.experiments.parallel` do the shared-memory plumbing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import FileContext, Rule, Violation
+
+#: Executor / multiprocessing-pool methods that pickle their arguments.
+_POOL_METHODS = {
+    "submit",
+    "map",
+    "map_async",
+    "starmap",
+    "starmap_async",
+    "apply",
+    "apply_async",
+    "imap",
+    "imap_unordered",
+}
+
+#: Callables whose result is a built topology (or a scenario holding one).
+_TOPOLOGY_BUILDERS = {
+    "PhysicalTopology",
+    "attach_shared",
+    "build_underlay",
+    "build_scenario",
+    "from_networkx",
+}
+
+#: Annotations marking a parameter as topology-carrying.
+_TOPOLOGY_TYPES = {"PhysicalTopology", "Scenario"}
+
+_REMEDY = (
+    "; send the seeded ScenarioConfig and share the underlay via "
+    "export_shared()/attach_shared() (see repro.experiments.parallel)"
+)
+
+
+def _is_topology_builder(call: ast.Call) -> bool:
+    """Whether *call* constructs a topology/scenario by name."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in _TOPOLOGY_BUILDERS
+    if isinstance(func, ast.Attribute):
+        return func.attr in _TOPOLOGY_BUILDERS
+    return False
+
+
+def _annotation_names(node: ast.AST) -> Set[str]:
+    """Bare names mentioned in an annotation (handles Optional[...] etc.)."""
+    names: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.add(child.attr)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            names.add(child.value.rsplit(".", 1)[-1])  # string annotation
+    return names
+
+
+def _assigned_names(target: ast.AST) -> Iterator[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    for child in ast.walk(target):
+        if isinstance(child, ast.Name):
+            yield child.id
+
+
+class NoTopologyPicklingRule(Rule):
+    """Flag built topologies passed into executor/pool submissions."""
+
+    code = "REP005"
+    name = "no-topology-pickling"
+    description = (
+        "built PhysicalTopology/Scenario objects pickled into process-pool "
+        "submissions re-serialise the underlay per task; workers must "
+        "attach it from shared memory instead"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Only importable src/ modules: tests exercise pickling on purpose.
+        return ctx.module is not None
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._scan_scope(ctx, ctx.tree, frozenset())
+
+    # ------------------------------------------------------------------
+
+    def _scan_scope(
+        self, ctx: FileContext, scope: ast.AST, inherited: "frozenset[str]"
+    ) -> Iterator[Violation]:
+        """Check one lexical scope, then recurse into nested scopes."""
+        tracked = set(inherited)
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for param in [
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *filter(None, [args.vararg, args.kwarg]),
+            ]:
+                if param.annotation is not None and (
+                    _annotation_names(param.annotation) & _TOPOLOGY_TYPES
+                ):
+                    tracked.add(param.arg)
+
+        # Pass 1: bindings.  Collected before any call is checked so the
+        # verdict does not depend on statement order within the scope.
+        nested = []
+        calls = []
+        for node in self._scope_nodes(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                nested.append(node)
+                continue
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if _is_topology_builder(node.value):
+                    for target in node.targets:
+                        tracked.update(_assigned_names(target))
+            elif isinstance(node, ast.AnnAssign):
+                names = _annotation_names(node.annotation)
+                builder_value = isinstance(
+                    node.value, ast.Call
+                ) and _is_topology_builder(node.value)
+                if (names & _TOPOLOGY_TYPES or builder_value) and isinstance(
+                    node.target, ast.Name
+                ):
+                    tracked.add(node.target.id)
+            elif isinstance(node, ast.Call):
+                calls.append(node)
+
+        # Pass 2: pool submissions.
+        for node in calls:
+            yield from self._check_pool_call(ctx, node, tracked)
+
+        frozen = frozenset(tracked)
+        for inner in nested:
+            yield from self._scan_scope(ctx, inner, frozen)
+
+    def _scope_nodes(self, scope: ast.AST) -> Iterator[ast.AST]:
+        """Every node in *scope*, not descending into nested def/class."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _check_pool_call(
+        self, ctx: FileContext, call: ast.Call, tracked: Set[str]
+    ) -> Iterator[Violation]:
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _POOL_METHODS):
+            return
+        payload = list(call.args) + [kw.value for kw in call.keywords]
+        for expr in payload:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Name) and node.id in tracked:
+                    yield ctx.violation(
+                        node, self.code,
+                        f"{node.id!r} holds a built topology and is pickled "
+                        f"into .{func.attr}()" + _REMEDY,
+                    )
+                elif isinstance(node, ast.Attribute) and node.attr == "physical":
+                    yield ctx.violation(
+                        node, self.code,
+                        f"a scenario's .physical underlay is pickled into "
+                        f".{func.attr}()" + _REMEDY,
+                    )
+                elif isinstance(node, ast.Call) and _is_topology_builder(node):
+                    yield ctx.violation(
+                        node, self.code,
+                        f"topology built inline inside a .{func.attr}() "
+                        "submission is pickled per task" + _REMEDY,
+                    )
