@@ -1,0 +1,94 @@
+"""Oracle back-ends at the paper's underlay size: Dijkstra work vs. accuracy.
+
+Opt-in like :mod:`bench_paper_scale` (set ``REPRO_SCALE``): on the full
+20,000-node underlay, warm the exact static working set — every logical
+edge cost plus the delay vector of every peer host, the preparation
+:func:`~repro.experiments.static_env.run_static_experiment` performs —
+through each delay oracle, and compare the single-source Dijkstra bill.
+The exact backend pays one solve per distinct peer host; the landmark
+backend pays exactly *k* embedding solves and answers everything else with
+vector arithmetic, so its bill must be at least 5x smaller at these sizes
+(the gate asserted below).  Each landmark configuration also reports its
+measured median relative error, which is the accuracy column of
+``docs/ORACLES.md``.  Typical invocation::
+
+    REPRO_SCALE=1 python -m pytest benchmarks/bench_oracle_paper_scale.py -q
+"""
+
+import dataclasses
+import os
+
+import pytest
+from conftest import report
+
+from repro.experiments.paper_scale import PAPER_PHYSICAL_NODES, paper_scenario
+from repro.experiments.setup import build_scenario
+from repro.perf import counters
+from repro.rng import ensure_rng
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_SCALE"),
+    reason="paper-scale oracle smoke is opt-in: set REPRO_SCALE to run it",
+)
+
+SMOKE_PEERS = 800
+LANDMARK_SPECS = ("landmark:16", "landmark:32", "landmark:64")
+
+
+def warm_working_set(spec: str):
+    """Build the 20k-node scenario with *spec* and warm its static working set."""
+    config = dataclasses.replace(
+        paper_scenario(avg_degree=6.0, seed=0, peers=SMOKE_PEERS), oracle=spec
+    )
+    counters.reset()  # before build: the k embedding solves are part of the bill
+    scenario = build_scenario(config)
+    overlay = scenario.overlay
+    overlay.warm_edge_costs()
+    overlay.warm_sources(overlay.peers())
+    snap = counters.snapshot()
+    # A few live queries on top of the warmed set, as the experiment would do.
+    rng = ensure_rng(scenario.rng)
+    peers = overlay.peers()
+    for _ in range(32):
+        u = peers[int(rng.integers(len(peers)))]
+        v = peers[int(rng.integers(len(peers)))]
+        overlay.cost(u, v)
+    return scenario, snap
+
+
+def test_oracle_backends_paper_scale(benchmark, capsys):
+    """Warm the static working set through every backend; gate the exact-work ratio."""
+
+    def run_all():
+        results = {}
+        for spec in ("exact",) + LANDMARK_SPECS:
+            scenario, snap = warm_working_set(spec)
+            error = None
+            if spec != "exact":
+                error = scenario.overlay.oracle.validate_accuracy(samples=256)
+            results[spec] = (snap, error)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    exact_sources = results["exact"][0]["dijkstra_sources"]
+    assert exact_sources > 0
+    lines = [
+        f"oracle backends at paper scale ({PAPER_PHYSICAL_NODES} underlay "
+        f"nodes, {SMOKE_PEERS} peers):",
+        f"  exact: dijkstra {exact_sources} sources "
+        f"(one per distinct peer host + edge-cost sweep)",
+    ]
+    for spec in LANDMARK_SPECS:
+        snap, error = results[spec]
+        sources = snap["dijkstra_sources"]
+        # The tentpole's acceptance gate: >= 5x fewer exact solves.
+        assert sources * 5 <= exact_sources, (spec, sources, exact_sources)
+        assert snap["landmark_embed_sources"] == sources
+        lines.append(
+            f"  {spec}: dijkstra {sources} sources "
+            f"({exact_sources / sources:.0f}x fewer), "
+            f"{snap['oracle_estimates']} estimates, "
+            f"median rel error {error:.3f}"
+        )
+    report(capsys, "\n".join(lines))

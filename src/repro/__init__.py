@@ -6,6 +6,9 @@ with every substrate the paper's evaluation depends on:
 
 * :mod:`repro.topology` — BRITE-style physical underlays and Gnutella-like
   logical overlays whose link costs are underlay shortest-path delays.
+* :mod:`repro.oracle` — pluggable delay backends behind one seam: exact
+  batched Dijkstra, or a k-landmark embedding with triangle-inequality
+  error bounds and an accuracy gate.
 * :mod:`repro.core` — the ACE protocol: neighbor cost tables (Phase 1),
   per-peer minimum spanning trees over h-neighbor closures (Phase 2), and
   adaptive connection replacement (Phase 3).
@@ -66,6 +69,15 @@ from .extensions import (
     LtmProtocol,
     aoto_config,
     hpf_strategy,
+)
+from .oracle import (
+    DelayOracle,
+    ExactOracle,
+    LandmarkOracle,
+    OracleAccuracyError,
+    OracleSpec,
+    make_oracle,
+    parse_oracle_spec,
 )
 from .metrics import (
     OptimizationTradeoff,
@@ -202,6 +214,14 @@ __all__ = [
     "OptimizationTradeoff",
     "optimization_rate",
     "minimal_depth_for_gain",
+    # oracle
+    "DelayOracle",
+    "ExactOracle",
+    "LandmarkOracle",
+    "OracleAccuracyError",
+    "OracleSpec",
+    "parse_oracle_spec",
+    "make_oracle",
     # extensions
     "AotoProtocol",
     "aoto_config",

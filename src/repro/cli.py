@@ -53,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--degree", type=float, default=degree,
                        help="average logical degree")
         p.add_argument("--seed", type=int, default=1, help="RNG seed")
+        p.add_argument("--oracle", default="exact",
+                       help="delay backend: 'exact' (default) or "
+                            "'landmark:<k>[:strategy[:estimator]]' for the "
+                            "approximate k-landmark embedding")
         p.add_argument("--json", dest="json_path", default=None,
                        help="also write the result object to this JSON file")
         p.add_argument("--perf", action="store_true",
@@ -117,6 +121,7 @@ def _scenario_config(args, overrides=None):
         peers=args.peers,
         avg_degree=args.degree,
         seed=args.seed,
+        oracle=getattr(args, "oracle", "exact"),
     )
     kwargs.update(overrides or {})
     return ScenarioConfig(**kwargs)

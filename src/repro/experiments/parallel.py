@@ -5,11 +5,14 @@ module hoists that into a single harness that the static driver, the dynamic
 arms, and the benchmark conftest all share, and upgrades it in three ways:
 
 * **Zero-copy worker setup.**  The parent builds each *distinct* underlay
-  (see :func:`repro.experiments.setup.underlay_key`) exactly once, exports
-  it to shared memory, and initializes every worker process with
-  :func:`repro.experiments.setup.attach_shared_underlays`.  Workers attach
-  read-only views of the CSR arrays instead of regenerating a 20,000-node
-  graph from seed per process — the regeneration that used to dominate
+  (see :func:`repro.experiments.setup.underlay_key`) exactly once — and,
+  for configs selecting a landmark oracle, each distinct embedding (see
+  :func:`repro.experiments.setup.oracle_key`) on that same graph — exports
+  both to shared memory, and initializes every worker process with
+  :func:`repro.experiments.setup.attach_shared_worlds`.  Workers attach
+  read-only views of the CSR arrays and the ``(k, N)`` embedding instead
+  of regenerating a 20,000-node graph (or re-running k Dijkstra solves)
+  from seed per process — the regeneration that used to dominate
   paper-scale wall-clock.
 * **Fleet-wide perf accounting.**  Each worker measures its trial as a
   :meth:`counter delta <repro.perf.PerfCounters.delta>` and returns it with
@@ -41,13 +44,19 @@ from typing import (
     Union,
 )
 
+from ..oracle import parse_oracle_spec
+from ..oracle.landmark import LandmarkOracle, SharedEmbedding
 from ..perf import counters
+from ..topology.physical import PhysicalTopology
 from ..topology.shm import SharedUnderlay
 from .setup import (
+    OracleKey,
     ScenarioConfig,
     UnderlayKey,
-    attach_shared_underlays,
+    attach_shared_worlds,
+    build_oracle,
     build_underlay,
+    oracle_key,
     repro_workers,
     underlay_key,
 )
@@ -69,26 +78,40 @@ def _run_task(item: Tuple[Callable[[Any], Any], Any]) -> Tuple[Any, PerfSnapshot
     return result, counters.delta(before)
 
 
-def _export_underlays(
+def _export_worlds(
     configs: Sequence[ScenarioConfig],
-) -> Dict[UnderlayKey, SharedUnderlay]:
-    """Build and export each distinct underlay among *configs* once.
+) -> Tuple[Dict[UnderlayKey, SharedUnderlay], Dict[OracleKey, SharedEmbedding]]:
+    """Build and export each distinct underlay and oracle embedding once.
 
-    On any failure the already-exported segments are unlinked before the
+    The parent builds every distinct :func:`underlay_key` graph, then every
+    distinct non-exact :func:`oracle_key` embedding *on that same built
+    graph* (no second generator run), and exports both to shared memory.
+    Workers attach zero-copy, so neither the 20,000-node generator nor the
+    k embedding solves ever run per process.  On any failure the
+    already-exported segments of both layers are unlinked before the
     exception propagates — a half-exported fleet never leaks.
     """
-    exports: Dict[UnderlayKey, SharedUnderlay] = {}
+    underlays: Dict[UnderlayKey, SharedUnderlay] = {}
+    oracles: Dict[OracleKey, SharedEmbedding] = {}
+    built: Dict[UnderlayKey, PhysicalTopology] = {}
     try:
         for config in configs:
             key = underlay_key(config)
-            if key in exports:
+            if key not in underlays:
+                physical = build_underlay(config)
+                built[key] = physical
+                underlays[key] = physical.export_shared()
+            okey = oracle_key(config)
+            if parse_oracle_spec(config.oracle).kind == "exact" or okey in oracles:
                 continue
-            exports[key] = build_underlay(config).export_shared()
+            oracle = build_oracle(config, built[key])
+            assert isinstance(oracle, LandmarkOracle)  # non-exact specs only
+            oracles[okey] = oracle.export_shared()
     except BaseException:
-        for shared in exports.values():
+        for shared in (*underlays.values(), *oracles.values()):
             shared.unlink()
         raise
-    return exports
+    return underlays, oracles
 
 
 def run_trials_detailed(
@@ -103,11 +126,12 @@ def run_trials_detailed(
     payload must be small and picklable — a seeded config, never a built
     topology (replint REP005 enforces this structurally).
 
-    *shared_underlays* lists the scenario configs whose underlays the trials
-    will build; each distinct :func:`underlay_key` is generated once in the
-    parent, exported to shared memory, and attached by every worker's
-    initializer.  Leave it empty to skip sharing (e.g. payloads that build
-    no scenario).
+    *shared_underlays* lists the scenario configs whose worlds the trials
+    will build; each distinct :func:`underlay_key` (and, for landmark-oracle
+    configs, each distinct :func:`oracle_key` embedding) is generated once
+    in the parent, exported to shared memory, and attached by every
+    worker's initializer.  Leave it empty to skip sharing (e.g. payloads
+    that build no scenario).
 
     *max_workers* defaults to the ``REPRO_WORKERS`` environment knob; ``1``
     runs everything inline in this process with no pool, no export and no
@@ -130,17 +154,18 @@ def run_trials_detailed(
 
     from concurrent.futures import ProcessPoolExecutor
 
-    exports = _export_underlays(shared_underlays)
+    underlay_exports, oracle_exports = _export_worlds(shared_underlays)
     try:
-        handles = {key: shared.handle for key, shared in exports.items()}
+        underlay_handles = {k: s.handle for k, s in underlay_exports.items()}
+        oracle_handles = {k: s.handle for k, s in oracle_exports.items()}
         with ProcessPoolExecutor(
             max_workers=workers,
-            initializer=attach_shared_underlays,
-            initargs=(handles,),
+            initializer=attach_shared_worlds,
+            initargs=(underlay_handles, oracle_handles),
         ) as pool:
             pairs = list(pool.map(_run_task, items))
     finally:
-        for shared in exports.values():
+        for shared in (*underlay_exports.values(), *oracle_exports.values()):
             shared.unlink()
     results: List[R] = []
     snapshots: List[PerfSnapshot] = []

@@ -26,6 +26,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..oracle import DelayOracle, make_oracle, parse_oracle_spec
+from ..oracle.landmark import LandmarkEmbeddingHandle, LandmarkOracle
 from ..perf import counters
 from ..sim.workload import ObjectCatalog, QueryWorkload, WorkloadConfig
 from ..topology import generators
@@ -43,10 +45,16 @@ __all__ = [
     "Scenario",
     "build_scenario",
     "build_underlay",
+    "build_oracle",
     "underlay_key",
+    "oracle_key",
     "UnderlayKey",
+    "OracleKey",
     "attach_shared_underlays",
+    "attach_shared_oracles",
+    "attach_shared_worlds",
     "attached_underlay_count",
+    "attached_oracle_count",
     "clear_attached_underlays",
     "repro_scale",
     "repro_workers",
@@ -122,6 +130,10 @@ class ScenarioConfig:
     overlay_kind: str = "small_world"
     seed: int = 0
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: Delay backend spec: ``"exact"`` (default, byte-identical to the
+    #: pre-oracle engine) or ``"landmark[:k[:strategy[:estimator]]]"`` (see
+    #: :func:`repro.oracle.parse_oracle_spec`).
+    oracle: str = "exact"
 
     def scaled(self, factor: Optional[float] = None) -> "ScenarioConfig":
         """Scale node counts by *factor* (default: the REPRO_SCALE env)."""
@@ -158,12 +170,22 @@ class Scenario:
 #: configs with the same key deterministically generate the same graph.
 UnderlayKey = Tuple[str, int, int]
 
+#: Identity of a (non-exact) oracle: the underlay it embeds plus the
+#: canonical spec string.  Selection draws come from a stream spawned off
+#: the scenario seed (part of the underlay key), so configs sharing this
+#: key deterministically build the identical oracle.
+OracleKey = Tuple[UnderlayKey, str]
+
 #: Per-process registry of shared-memory handles offered to this process
 #: (pool initializer) and of the underlays actually attached from them.
 #: Attachment is lazy — a worker maps only the underlays its trials touch —
 #: and cached, so each segment set is mapped at most once per process.
 _SHARED_HANDLES: Dict[UnderlayKey, SharedTopologyHandle] = {}
 _ATTACHED_UNDERLAYS: Dict[UnderlayKey, PhysicalTopology] = {}
+
+#: Same lazy registry pattern for exported landmark embeddings.
+_SHARED_ORACLE_HANDLES: Dict[OracleKey, LandmarkEmbeddingHandle] = {}
+_ATTACHED_ORACLES: Dict[OracleKey, DelayOracle] = {}
 
 
 def underlay_key(config: ScenarioConfig) -> UnderlayKey:
@@ -194,6 +216,39 @@ def build_underlay(config: ScenarioConfig) -> PhysicalTopology:
     )
 
 
+def oracle_key(config: ScenarioConfig) -> OracleKey:
+    """The oracle identity of *config* (underlay key + canonical spec).
+
+    The spec is canonicalized first, so ``"landmark"`` and
+    ``"landmark:16:maxmin:midpoint"`` share one key (they build the same
+    oracle) and one shared-memory export serves both.
+    """
+    return (underlay_key(config), parse_oracle_spec(config.oracle).canonical())
+
+
+def _oracle_rng(config: ScenarioConfig) -> np.random.Generator:
+    """The seeded stream feeding oracle landmark selection.
+
+    Stream #4 of the scenario seed — spawned *after* the four historical
+    streams, whose values a ``SeedSequence`` derives purely from their
+    spawn position, so adding this stream leaves underlay/overlay/workload/
+    run draws untouched and ``oracle="exact"`` scenarios byte-identical.
+    """
+    return np.random.default_rng(np.random.SeedSequence(config.seed).spawn(5)[4])
+
+
+def build_oracle(config: ScenarioConfig, physical: PhysicalTopology) -> DelayOracle:
+    """Build just the delay oracle of *config* over an existing underlay.
+
+    Deterministic: the landmark selection stream is spawned from the
+    scenario seed, so every call with equal config and equal underlay
+    produces the identical oracle (same landmarks, same embedding bytes) —
+    which is what makes a parent-exported embedding interchangeable with a
+    worker-built one.
+    """
+    return make_oracle(config.oracle, physical, rng=_oracle_rng(config))
+
+
 def attach_shared_underlays(
     handles: Mapping[UnderlayKey, SharedTopologyHandle],
 ) -> None:
@@ -210,6 +265,28 @@ def attach_shared_underlays(
     _SHARED_HANDLES.update(handles)
 
 
+def attach_shared_oracles(
+    handles: Mapping[OracleKey, LandmarkEmbeddingHandle],
+) -> None:
+    """Register exported landmark embeddings for this worker (lazy attach).
+
+    The counterpart of :func:`attach_shared_underlays` for the oracle
+    layer: actual segment mapping happens the first time
+    :func:`build_scenario` needs a given key, so a worker maps only the
+    embeddings its trials touch and never re-runs the embedding solves.
+    """
+    _SHARED_ORACLE_HANDLES.update(handles)
+
+
+def attach_shared_worlds(
+    underlays: Mapping[UnderlayKey, SharedTopologyHandle],
+    oracles: Mapping[OracleKey, LandmarkEmbeddingHandle],
+) -> None:
+    """Process-pool initializer registering both shared layers at once."""
+    attach_shared_underlays(underlays)
+    attach_shared_oracles(oracles)
+
+
 def _attached_underlay(key: UnderlayKey) -> Optional[PhysicalTopology]:
     """The attached underlay for *key*, mapping its segments on first use."""
     physical = _ATTACHED_UNDERLAYS.get(key)
@@ -221,19 +298,47 @@ def _attached_underlay(key: UnderlayKey) -> Optional[PhysicalTopology]:
     return physical
 
 
+def _attached_oracle(
+    key: OracleKey, physical: PhysicalTopology
+) -> Optional[DelayOracle]:
+    """The attached oracle for *key* over *physical*, mapped on first use.
+
+    The cached instance is only reused while it answers for the same
+    underlay object; a different resolved underlay (e.g. an explicitly
+    passed one) gets a fresh zero-copy attach around the same embedding.
+    """
+    oracle = _ATTACHED_ORACLES.get(key)
+    if oracle is not None and oracle.physical is physical:
+        return oracle
+    handle = _SHARED_ORACLE_HANDLES.get(key)
+    if handle is None:
+        return None
+    oracle = LandmarkOracle.attach_shared(handle, physical)
+    _ATTACHED_ORACLES[key] = oracle
+    return oracle
+
+
 def attached_underlay_count() -> int:
     """How many shared underlays this process has attached (for tests)."""
     return len(_ATTACHED_UNDERLAYS)
 
 
-def clear_attached_underlays() -> None:
-    """Drop this process's handle and attached-underlay registries.
+def attached_oracle_count() -> int:
+    """How many shared embeddings this process has attached (for tests)."""
+    return len(_ATTACHED_ORACLES)
 
-    Dropping the registry releases the attached instances and thereby this
-    process's segment mappings; the exporter's segments are untouched.
+
+def clear_attached_underlays() -> None:
+    """Drop this process's shared-handle and attached-instance registries.
+
+    Covers both layers (underlays and oracle embeddings).  Dropping the
+    registries releases the attached instances and thereby this process's
+    segment mappings; the exporter's segments are untouched.
     """
     _SHARED_HANDLES.clear()
     _ATTACHED_UNDERLAYS.clear()
+    _SHARED_ORACLE_HANDLES.clear()
+    _ATTACHED_ORACLES.clear()
 
 
 def build_scenario(
@@ -260,6 +365,7 @@ def build_scenario(
             f"unknown overlay kind {config.overlay_kind!r}; "
             f"choose from {sorted(_OVERLAYS)}"
         )
+    oracle_spec = parse_oracle_spec(config.oracle)  # fail fast on typos
     seeds = np.random.SeedSequence(config.seed).spawn(4)
     underlay_rng, overlay_rng, workload_rng, run_rng = (
         np.random.default_rng(s) for s in seeds
@@ -272,6 +378,17 @@ def build_scenario(
     overlay = _OVERLAYS[config.overlay_kind](
         physical, config.peers, avg_degree=config.avg_degree, rng=overlay_rng
     )
+    if oracle_spec.kind != "exact":
+        # The default ExactOracle installed by the Overlay constructor is
+        # already correct for "exact" (and swapping would needlessly drop
+        # cost memos); only non-exact backends are resolved — attached from
+        # shared memory when the pool initializer offered one, built from
+        # the seeded oracle stream otherwise.  Both paths yield identical
+        # embeddings, so results do not depend on which one served.
+        oracle = _attached_oracle(oracle_key(config), physical)
+        if oracle is None:
+            oracle = build_oracle(config, physical)
+        overlay.use_oracle(oracle)
     catalog = ObjectCatalog(overlay.peers(), config.workload, workload_rng)
     return Scenario(
         config=config,

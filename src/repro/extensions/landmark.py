@@ -9,7 +9,10 @@ The paper criticizes the approach: the landmark-vector *estimate* of
 peer-to-peer distance is inaccurate, and the global measurement does not
 scale.  This module implements the scheme so the criticism is measurable:
 
-* each peer probes a fixed set of landmark hosts and keeps the delay vector;
+* each peer's landmark delay vector comes from a
+  :class:`~repro.oracle.landmark.LandmarkOracle` embedding (random
+  selection, Euclidean estimator — the exact configuration this module
+  historically computed privately, including the seeded draw order);
 * the estimated distance between two peers is the Euclidean distance of
   their landmark vectors (global network positioning's standard proxy);
 * :class:`LandmarkMatcher` rewires each peer toward its estimated-nearest
@@ -17,16 +20,25 @@ scale.  This module implements the scheme so the criticism is measurable:
   direct probes;
 * :meth:`LandmarkMatcher.estimation_error` quantifies the mapping
   inaccuracy the paper's Section 2 points out.
+
+Since the vector/estimate machinery moved into :mod:`repro.oracle`, this
+module is a thin adapter: ``estimation_error()`` and the pluggable
+:class:`~repro.oracle.landmark.LandmarkOracle` backend can never diverge,
+because they are the same code.  Assigning ``matcher.landmarks`` directly
+(the old white-box override) still works through a deprecation shim that
+rebuilds the oracle around the given hosts.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..oracle.landmark import LandmarkOracle
 from ..rng import ensure_rng
 from ..topology.overlay import Overlay
 
@@ -52,6 +64,7 @@ class LandmarkMatcher:
         rng: Optional[np.random.Generator] = None,
         candidates_per_step: int = 3,
         min_degree: int = 2,
+        oracle: Optional[LandmarkOracle] = None,
     ) -> None:
         if n_landmarks < 1:
             raise ValueError("need at least one landmark")
@@ -59,10 +72,20 @@ class LandmarkMatcher:
         self.rng = ensure_rng(rng)
         self.candidates_per_step = candidates_per_step
         self.min_degree = min_degree
-        physical = overlay.physical
-        hosts = physical.largest_component_nodes()
-        idx = self.rng.choice(len(hosts), size=min(n_landmarks, len(hosts)), replace=False)
-        self.landmarks: List[int] = [hosts[int(i)] for i in idx]
+        if oracle is None:
+            # random + euclidean is the historical configuration of this
+            # module, and the oracle's random strategy consumes the RNG with
+            # the identical draw — same seed, same landmark set as ever.
+            oracle = LandmarkOracle(
+                overlay.physical,
+                n_landmarks=n_landmarks,
+                strategy="random",
+                estimator="euclidean",
+                rng=self.rng,
+            )
+        elif oracle.physical is not overlay.physical:
+            raise ValueError("oracle answers for a different underlay")
+        self._oracle = oracle
         self._vectors: Dict[int, np.ndarray] = {}
         self._steps_run = 0
 
@@ -73,15 +96,44 @@ class LandmarkMatcher:
         """Completed optimization rounds."""
         return self._steps_run
 
+    @property
+    def oracle(self) -> LandmarkOracle:
+        """The landmark oracle whose embedding backs the estimates."""
+        return self._oracle
+
+    @property
+    def landmarks(self) -> List[int]:
+        """Landmark host ids (a copy — the oracle's embedding is immutable)."""
+        return list(self._oracle.landmarks)
+
+    @landmarks.setter
+    def landmarks(self, hosts: Sequence[int]) -> None:
+        """Deprecated white-box override: rebuilds the oracle around *hosts*.
+
+        Kept for one release so code that historically assigned
+        ``matcher.landmarks`` directly keeps working; construct with an
+        explicit ``oracle=LandmarkOracle(..., landmarks=hosts)`` instead.
+        """
+        warnings.warn(
+            "assigning LandmarkMatcher.landmarks is deprecated; pass "
+            "oracle=LandmarkOracle(..., landmarks=...) to the constructor",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._oracle = LandmarkOracle(
+            self.overlay.physical,
+            landmarks=list(hosts),
+            strategy=self._oracle.strategy,
+            estimator=self._oracle.estimator,
+        )
+        self._vectors.clear()
+
     def vector_of(self, peer: int) -> np.ndarray:
-        """The peer's landmark delay vector (measured once, then cached)."""
+        """The peer's landmark delay vector (embedding column, cached)."""
         vec = self._vectors.get(peer)
         if vec is None:
             host = self.overlay.host_of(peer)
-            physical = self.overlay.physical
-            vec = np.array(
-                [physical.delay(host, lm) for lm in self.landmarks], dtype=float
-            )
+            vec = np.array(self._oracle.vector_of(host), dtype=float)
             self._vectors[peer] = vec
         return vec
 

@@ -67,6 +67,12 @@ class PerfCounters:
     underlay_builds: int = 0
     #: Underlay graphs attached zero-copy from shared memory instead.
     underlay_attaches: int = 0
+    #: Delay answers served from an approximate oracle's embedding.
+    oracle_estimates: int = 0
+    #: Approximate-oracle queries that spent exact-fallback budget instead.
+    oracle_exact_fallbacks: int = 0
+    #: Single-source solves spent building landmark embeddings.
+    landmark_embed_sources: int = 0
 
     # ------------------------------------------------------------------
 
@@ -146,6 +152,11 @@ class PerfCounters:
         lines.append(
             f"  underlays: {self.underlay_builds} built, "
             f"{self.underlay_attaches} attached from shared memory"
+        )
+        lines.append(
+            f"  oracle: {self.oracle_estimates} estimates, "
+            f"{self.oracle_exact_fallbacks} exact fallbacks, "
+            f"{self.landmark_embed_sources} landmark embed sources"
         )
         return "\n".join(lines)
 

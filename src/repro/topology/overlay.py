@@ -14,8 +14,15 @@ so invariants (symmetry, no self-loops, live endpoints) hold by construction.
 
 Cost lookups are served from two layers of memoization:
 
-* a **host-pair cache** (append-only; underlay delays never change), shared
-  across :meth:`copy` clones, and
+All underlay delay lookups go through the overlay's
+:class:`~repro.oracle.base.DelayOracle` (an
+:class:`~repro.oracle.exact.ExactOracle` unless configured otherwise), so
+the delay backend — exact batched Dijkstra or a landmark embedding — is a
+constructor choice, not a code change.  On top of the oracle sit two layers
+of memoization:
+
+* a **host-pair cache** (append-only; a backend's answers never change),
+  shared across :meth:`copy` clones, and
 * a **per-edge cost cache** keyed by peer pair, covering exactly the (small,
   slowly-changing) logical edge set.  :meth:`warm_edge_costs` fills it in
   bulk through the underlay's batched Dijkstra, and the mutation methods
@@ -33,6 +40,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from ..oracle.base import DelayOracle
+from ..oracle.exact import ExactOracle
 from ..perf import counters
 from ..rng import ensure_rng
 from .physical import PhysicalTopology
@@ -52,8 +61,14 @@ class Overlay:
         self,
         physical: PhysicalTopology,
         hosts: Optional[Dict[int, int]] = None,
+        oracle: Optional[DelayOracle] = None,
     ) -> None:
         self._physical = physical
+        if oracle is not None and oracle.physical is not physical:
+            raise ValueError("oracle answers for a different underlay")
+        self._oracle: DelayOracle = (
+            oracle if oracle is not None else ExactOracle(physical)
+        )
         self._hosts: Dict[int, int] = {}
         self._adjacency: Dict[int, Set[int]] = {}
         self._cost_cache: Dict[Tuple[int, int], float] = {}
@@ -70,6 +85,25 @@ class Overlay:
     def physical(self) -> PhysicalTopology:
         """The underlay this overlay is built on."""
         return self._physical
+
+    @property
+    def oracle(self) -> DelayOracle:
+        """The delay oracle answering this overlay's cost lookups."""
+        return self._oracle
+
+    def use_oracle(self, oracle: DelayOracle) -> None:
+        """Swap the delay backend, dropping every cost memo.
+
+        Cached costs are answers from the *previous* backend, so both the
+        host-pair cache and the per-edge cost cache are invalidated (the
+        host-pair cache is replaced rather than cleared — it may be shared
+        with :meth:`copy` clones still on the old backend).
+        """
+        if oracle.physical is not self._physical:
+            raise ValueError("oracle answers for a different underlay")
+        self._oracle = oracle
+        self._cost_cache = {}
+        self._edge_costs.clear()
 
     @property
     def num_peers(self) -> int:
@@ -208,7 +242,7 @@ class Overlay:
             hkey = (hu, hv) if hu < hv else (hv, hu)
             d = self._cost_cache.get(hkey)
             if d is None:
-                d = self._physical.delay(hu, hv)
+                d = self._oracle.delay(hu, hv)
                 self._cost_cache[hkey] = d
         if v in self._adjacency.get(u, ()):
             counters.edge_cost_misses += 1
@@ -243,7 +277,7 @@ class Overlay:
                 if t in nbrs:
                     self._edge_costs[pkey] = cached
         if missing:
-            vec = self._physical.delays_from(hu)
+            vec = self._oracle.delays_from(hu)
             for t in missing:
                 ht = self._hosts[t]
                 d = float(vec[ht])
@@ -287,7 +321,7 @@ class Overlay:
         sources = sorted(pending)
         for start in range(0, len(sources), chunk_size):
             chunk = sources[start : start + chunk_size]
-            rows = self._physical.delays_from_many(chunk, cache=False)
+            rows = self._oracle.delays_from_many(chunk, cache=False)
             for h in chunk:
                 row = rows[h]
                 for pkey, hv, hkey in pending[h]:
@@ -306,7 +340,7 @@ class Overlay:
         probing) Dijkstra-free.  Returns the number of sources solved.
         """
         hosts = {self._hosts[p] for p in peers if p in self._hosts}
-        return self._physical.warm(hosts)
+        return self._oracle.warm(hosts)
 
     @property
     def cached_edge_costs(self) -> int:
@@ -357,8 +391,8 @@ class Overlay:
     # ------------------------------------------------------------------
 
     def copy(self) -> "Overlay":
-        """Deep copy of the logical layer (shares the physical topology)."""
-        clone = Overlay(self._physical)
+        """Deep copy of the logical layer (shares the underlay and oracle)."""
+        clone = Overlay(self._physical, oracle=self._oracle)
         clone._hosts = dict(self._hosts)
         clone._adjacency = {p: set(nbrs) for p, nbrs in self._adjacency.items()}
         clone._cost_cache = self._cost_cache  # shared, append-only cache

@@ -50,6 +50,7 @@ import numpy as np
 __all__ = [
     "SharedArraySpec",
     "SharedTopologyHandle",
+    "SharedSegments",
     "SharedUnderlay",
     "export_arrays",
     "attach_array",
@@ -128,21 +129,21 @@ def attach_array(
     return seg, view
 
 
-class SharedUnderlay:
-    """Owner of one exported underlay's shared-memory segments.
+class SharedSegments:
+    """Owner of a set of shared-memory segments plus their picklable handle.
 
-    Created by :meth:`PhysicalTopology.export_shared
-    <repro.topology.physical.PhysicalTopology.export_shared>`.  Use as a
-    context manager (``with phys.export_shared() as shared: ...``) or call
-    :meth:`unlink` in a ``finally`` — either way the segments are removed
-    exactly once.  An ``atexit`` guard backstops hard exits; it is keyed to
-    the creating PID so a forked worker that inherited this object can
-    never destroy the parent's segments.
+    The lifecycle contract is payload-agnostic, so any immutable array bundle
+    — the underlay CSR (:class:`SharedUnderlay`), a landmark embedding
+    (:class:`repro.oracle.landmark.SharedEmbedding`) — rides the same owner:
+    use as a context manager or call :meth:`unlink` in a ``finally``; either
+    way the segments are removed exactly once.  An ``atexit`` guard backstops
+    hard exits; it is keyed to the creating PID so a forked worker that
+    inherited this object can never destroy the parent's segments.
     """
 
     def __init__(
         self,
-        handle: SharedTopologyHandle,
+        handle: object,
         segments: List[shared_memory.SharedMemory],
     ) -> None:
         self._handle = handle
@@ -150,11 +151,6 @@ class SharedUnderlay:
         self._owner_pid = os.getpid()
         self._unlinked = False
         atexit.register(self._atexit_unlink)
-
-    @property
-    def handle(self) -> SharedTopologyHandle:
-        """The picklable handle workers attach from."""
-        return self._handle
 
     @property
     def segment_names(self) -> List[str]:
@@ -179,7 +175,7 @@ class SharedUnderlay:
                 pass
         self._segments = []
 
-    def __enter__(self) -> "SharedUnderlay":
+    def __enter__(self) -> "SharedSegments":
         return self
 
     def __exit__(
@@ -192,4 +188,30 @@ class SharedUnderlay:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "unlinked" if self._unlinked else f"{len(self._segments)} segments"
-        return f"SharedUnderlay(num_nodes={self._handle.num_nodes}, {state})"
+        return f"{type(self).__name__}({state})"
+
+
+class SharedUnderlay(SharedSegments):
+    """Owner of one exported underlay's shared-memory segments.
+
+    Created by :meth:`PhysicalTopology.export_shared
+    <repro.topology.physical.PhysicalTopology.export_shared>`; see
+    :class:`SharedSegments` for the ownership/unlink contract.
+    """
+
+    def __init__(
+        self,
+        handle: SharedTopologyHandle,
+        segments: List[shared_memory.SharedMemory],
+    ) -> None:
+        super().__init__(handle, segments)
+        self._topology_handle = handle
+
+    @property
+    def handle(self) -> SharedTopologyHandle:
+        """The picklable handle workers attach from."""
+        return self._topology_handle
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "unlinked" if self._unlinked else f"{len(self._segments)} segments"
+        return f"SharedUnderlay(num_nodes={self._topology_handle.num_nodes}, {state})"

@@ -84,6 +84,81 @@ class TestParallelMatchesSerial:
         assert as_bytes(direct) == as_bytes(via_harness)
 
 
+class TestOracleReproducibility:
+    """The oracle seam must not move a byte — in either direction.
+
+    ``oracle="exact"`` (the default, spelled out or not) is required to be
+    byte-identical to the pre-seam pipeline, and the landmark backend is
+    required to be exactly as deterministic: same config, same figures,
+    serial or parallel.  The oracle RNG rides seed-stream 5 of the scenario
+    seed (streams 0–3 are underlay/overlay/workload/run), so enabling it
+    never perturbs the existing draws.
+    """
+
+    def test_explicit_exact_matches_default(self):
+        default = run_static_experiment(
+            build_scenario(CONFIG), steps=2, query_samples=8
+        )
+        explicit = run_static_experiment(
+            build_scenario(dataclasses.replace(CONFIG, oracle="exact")),
+            steps=2,
+            query_samples=8,
+        )
+        assert as_bytes(default) == as_bytes(explicit)
+
+    def test_landmark_static_runs_are_byte_identical(self):
+        config = dataclasses.replace(CONFIG, oracle="landmark:8")
+        runs = [
+            run_static_experiment(build_scenario(config), steps=2, query_samples=8)
+            for _ in range(2)
+        ]
+        assert as_bytes(runs[0]) == as_bytes(runs[1])
+
+    def test_landmark_actually_changes_the_costs(self):
+        # Guard against a seam that silently ignores the spec: approximate
+        # delays must steer the figures away from the exact backend's.
+        exact = run_static_experiment(
+            build_scenario(CONFIG), steps=2, query_samples=8
+        )
+        approx = run_static_experiment(
+            build_scenario(dataclasses.replace(CONFIG, oracle="landmark:4")),
+            steps=2,
+            query_samples=8,
+        )
+        assert as_bytes(exact) != as_bytes(approx)
+
+    def test_landmark_parallel_is_byte_identical_to_serial(self):
+        configs = [
+            dataclasses.replace(CONFIG, oracle="landmark:8"),
+            dataclasses.replace(CONFIG, oracle="landmark:8", avg_degree=8.0),
+        ]
+        serial = run_static_trials(configs, steps=2, query_samples=6, max_workers=1)
+        parallel = run_static_trials(configs, steps=2, query_samples=6, max_workers=2)
+        assert [as_bytes(s) for s in serial] == [as_bytes(p) for p in parallel]
+
+    def test_landmark_dynamic_parallel_is_byte_identical_to_serial(self):
+        config = dataclasses.replace(CONFIG, oracle="landmark:8")
+        arms = [
+            (config, DynamicConfig(total_queries=90, window=30, enable_ace=False)),
+            (config, DynamicConfig(total_queries=90, window=30)),
+        ]
+        serial = run_dynamic_trials(arms, max_workers=1)
+        parallel = run_dynamic_trials(arms, max_workers=2)
+        assert [as_bytes(s) for s in serial] == [as_bytes(p) for p in parallel]
+
+    def test_oracle_stream_is_spawn_stable(self):
+        # The oracle draws from seed-stream index 4 (the fifth child).
+        # SeedSequence.spawn(5)[:4] == spawn(4) is the property that makes
+        # adding the stream safe; pin it so a refactor cannot regress it.
+        import numpy as np
+
+        base = [s.generate_state(4).tolist()
+                for s in np.random.SeedSequence(CONFIG.seed).spawn(4)]
+        wider = [s.generate_state(4).tolist()
+                 for s in np.random.SeedSequence(CONFIG.seed).spawn(5)[:4]]
+        assert base == wider
+
+
 class TestEnsureRngFallback:
     def test_fallback_is_deterministic(self):
         a = ensure_rng(None).random(4)

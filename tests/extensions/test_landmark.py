@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.extensions.landmark import LandmarkMatcher, LandmarkReport
+from repro.oracle import LandmarkOracle
 from repro.topology.overlay import small_world_overlay
 from repro.topology.physical import PhysicalTopology
 from repro.topology.overlay import Overlay
@@ -49,12 +50,38 @@ class TestVectors:
         )
         ov = Overlay(phys, {0: 4, 1: 6})
         ov.connect(0, 1)
-        matcher = LandmarkMatcher(ov, n_landmarks=1, rng=np.random.default_rng(0))
-        matcher.landmarks = [0]
-        matcher._vectors.clear()
+        matcher = LandmarkMatcher(
+            ov, oracle=LandmarkOracle(phys, landmarks=[0], estimator="euclidean")
+        )
         # |d(4,0) - d(6,0)| = 2 equals the true distance here; with the
         # landmark on the same side it can never exceed it.
         assert matcher.estimated_distance(0, 1) <= ov.cost(0, 1) + 1e-9
+
+    def test_landmark_assignment_shim_deprecated(self, world):
+        matcher = LandmarkMatcher(world, n_landmarks=4, rng=np.random.default_rng(0))
+        matcher.vector_of(0)  # populate the cache the shim must invalidate
+        target = world.host_of(world.peers()[0])
+        with pytest.warns(DeprecationWarning):
+            matcher.landmarks = [target]
+        assert matcher.landmarks == [target]
+        assert matcher.vector_of(0).shape == (1,)
+
+    def test_shares_oracle_seeded_draw(self, world):
+        """Same seed => matcher and a directly-built oracle agree on the
+        landmark set — the dedup guarantee of the adapter."""
+        matcher = LandmarkMatcher(world, n_landmarks=6, rng=np.random.default_rng(9))
+        oracle = LandmarkOracle(
+            world.physical,
+            n_landmarks=6,
+            strategy="random",
+            estimator="euclidean",
+            rng=np.random.default_rng(9),
+        )
+        assert matcher.landmarks == oracle.landmarks
+        a = world.peers()[0]
+        assert matcher.vector_of(a) == pytest.approx(
+            np.asarray(oracle.vector_of(world.host_of(a)))
+        )
 
 
 class TestEstimationError:

@@ -1,0 +1,93 @@
+"""Oracle spec grammar: parse, canonicalize, build."""
+
+import pytest
+
+from repro.oracle import (
+    ExactOracle,
+    LandmarkOracle,
+    OracleSpec,
+    make_oracle,
+    parse_oracle_spec,
+)
+
+
+class TestParse:
+    def test_exact(self):
+        assert parse_oracle_spec("exact") == OracleSpec(kind="exact")
+        assert parse_oracle_spec("  EXACT ") == OracleSpec(kind="exact")
+
+    def test_landmark_defaults(self):
+        spec = parse_oracle_spec("landmark")
+        assert spec == OracleSpec(
+            kind="landmark", n_landmarks=16, strategy="maxmin",
+            estimator="midpoint",
+        )
+
+    def test_landmark_full(self):
+        spec = parse_oracle_spec("landmark:32:degree:upper")
+        assert spec.n_landmarks == 32
+        assert spec.strategy == "degree"
+        assert spec.estimator == "upper"
+
+    def test_empty_fields_keep_defaults(self):
+        spec = parse_oracle_spec("landmark::random")
+        assert spec.n_landmarks == 16
+        assert spec.strategy == "random"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "exact:1",
+            "gnp",
+            "landmark:zero",
+            "landmark:0",
+            "landmark:-4",
+            "landmark:8:astrology",
+            "landmark:8:maxmin:vibes",
+            "landmark:8:maxmin:midpoint:extra",
+        ],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_oracle_spec(bad)
+
+
+class TestCanonical:
+    @pytest.mark.parametrize(
+        "spec,canonical",
+        [
+            ("exact", "exact"),
+            ("landmark", "landmark:16:maxmin:midpoint"),
+            ("landmark:8", "landmark:8:maxmin:midpoint"),
+            ("landmark:8:random:euclidean", "landmark:8:random:euclidean"),
+        ],
+    )
+    def test_round_trip(self, spec, canonical):
+        parsed = parse_oracle_spec(spec)
+        assert parsed.canonical() == canonical
+        assert parse_oracle_spec(parsed.canonical()) == parsed
+
+
+class TestMakeOracle:
+    def test_exact_backend(self, ba_physical):
+        oracle = make_oracle("exact", ba_physical)
+        assert isinstance(oracle, ExactOracle)
+        assert oracle.physical is ba_physical
+
+    def test_landmark_backend(self, rng, ba_physical):
+        oracle = make_oracle("landmark:4:degree:lower", ba_physical, rng=rng)
+        assert isinstance(oracle, LandmarkOracle)
+        assert oracle.n_landmarks == 4
+        assert oracle.strategy == "degree"
+        assert oracle.estimator == "lower"
+
+    def test_landmark_seeded_build_is_deterministic(self, ba_physical):
+        import numpy as np
+
+        a = make_oracle("landmark:5", ba_physical,
+                        rng=np.random.default_rng(13))
+        b = make_oracle("landmark:5", ba_physical,
+                        rng=np.random.default_rng(13))
+        assert a.landmarks == b.landmarks

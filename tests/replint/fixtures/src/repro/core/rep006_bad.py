@@ -1,0 +1,24 @@
+"""Seed-era pattern: core code querying the underlay engine directly."""
+
+from repro.topology.generators import build_underlay
+from repro.topology.physical import PhysicalTopology
+
+
+def closure_costs(overlay, sources):
+    vec = overlay.physical.delays_from(sources[0])
+    rows = overlay._physical.delays_from_many(sources)
+    return vec, rows
+
+
+def probe(config, u, v):
+    phys = build_underlay(config)
+    return phys.delay(u, v)
+
+
+def annotated_probe(physical: PhysicalTopology, u, v):
+    return physical.delay(u, v)
+
+
+def attached_probe(handle, u, v):
+    phys = PhysicalTopology.attach_shared(handle)
+    return phys.delay(u, v)

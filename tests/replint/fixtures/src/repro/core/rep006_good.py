@@ -1,0 +1,19 @@
+"""The sanctioned shape: delays through the overlay or the oracle seam."""
+
+
+def closure_costs(overlay, sources):
+    return overlay.costs_from(sources[0], sources[1:])
+
+
+def probe(overlay, u, v):
+    return overlay.cost(u, v)
+
+
+def oracle_probe(oracle, u, v):
+    # A DelayOracle receiver is the seam itself, not a bypass of it.
+    return oracle.delay(u, v)
+
+
+def backend_comparison(overlay, u, v):
+    # replint: disable=REP006 — diagnostic that must compare against exact
+    return overlay.physical.delay(u, v)

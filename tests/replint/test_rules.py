@@ -157,6 +157,33 @@ class TestNoTopologyPickling:
         assert check_file(helper, [rules_by_code()["REP005"]]) == []
 
 
+class TestOracleSeam:
+    def test_bad_fixture_catches_every_bypass_route(self):
+        violations = run_rule("REP006", "src/repro/core/rep006_bad.py")
+        assert all(v.code == "REP006" for v in violations)
+        # .physical and ._physical receivers, a name bound from
+        # build_underlay(), a PhysicalTopology-annotated parameter, and a
+        # name bound from PhysicalTopology.attach_shared().
+        assert lines(violations) == [8, 9, 15, 19, 24]
+
+    def test_message_points_at_the_seam(self):
+        violations = run_rule("REP006", "src/repro/core/rep006_bad.py")
+        assert all("DelayOracle" in v.message for v in violations)
+
+    def test_good_fixture_is_clean(self):
+        # Overlay cost API, an oracle receiver, and a justified suppression.
+        assert run_rule("REP006", "src/repro/core/rep006_good.py") == []
+
+    def test_rule_scoped_to_core_and_search(self, tmp_path):
+        # The same code is legitimate below the seam (topology/oracle build
+        # on the engine) and outside src/ (tests, benchmarks).
+        source = (FIXTURES / "src/repro/core/rep006_bad.py").read_text()
+        below_seam = tmp_path / "src" / "repro" / "topology" / "helper.py"
+        below_seam.parent.mkdir(parents=True)
+        below_seam.write_text(source)
+        assert check_file(below_seam, [rules_by_code()["REP006"]]) == []
+
+
 class TestSuppressions:
     def test_fully_suppressed_fixture_is_clean(self):
         assert check_file(FIXTURES / "suppressed.py", default_rules()) == []

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro",
     "repro.core",
     "repro.topology",
+    "repro.oracle",
     "repro.search",
     "repro.sim",
     "repro.metrics",

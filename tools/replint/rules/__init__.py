@@ -9,6 +9,8 @@ REP003    layering                topology/sim never import experiment-layer mod
 REP004    perf-hygiene            no per-element delay/cost lookups inside loops
 REP005    no-topology-pickling    built topologies reach workers via shared memory,
                                   never pickled into pool submissions
+REP006    oracle-seam             core/search query delays through a DelayOracle,
+                                  never PhysicalTopology.delay/delays_from* directly
 ========  ======================  =====================================================
 
 ``REP000`` is reserved for parse errors (emitted by the engine, not a rule).
@@ -24,6 +26,7 @@ from .cache_coherence import CacheCoherenceRule
 from .determinism import DeterminismRule
 from .layering import LayeringRule
 from .no_topology_pickling import NoTopologyPicklingRule
+from .oracle_seam import OracleSeamRule
 from .perf_hygiene import PerfHygieneRule
 
 __all__ = [
@@ -32,6 +35,7 @@ __all__ = [
     "LayeringRule",
     "PerfHygieneRule",
     "NoTopologyPicklingRule",
+    "OracleSeamRule",
     "default_rules",
     "rules_by_code",
 ]
@@ -45,6 +49,7 @@ def default_rules() -> List[Rule]:
         LayeringRule(),
         PerfHygieneRule(),
         NoTopologyPicklingRule(),
+        OracleSeamRule(),
     ]
 
 

@@ -3,6 +3,7 @@
 The layering (bottom to top) is::
 
     repro.topology, repro.perf          # substrate: graphs, caches, counters
+    repro.oracle                        # delay backends over the substrate
     repro.sim, repro.search, repro.core # mechanics: events, queries, ACE
     repro.extensions                    # alternative protocols (LTM, Gia, ...)
     repro.experiments, repro.cli        # drivers that assemble everything
@@ -25,7 +26,7 @@ from ..engine import FileContext, Rule, Violation
 #: (importer prefix, forbidden import prefix) pairs.
 _FORBIDDEN: Tuple[Tuple[Tuple[str, ...], Tuple[str, ...]], ...] = (
     (
-        ("repro.topology", "repro.sim", "repro.perf"),
+        ("repro.topology", "repro.sim", "repro.perf", "repro.oracle"),
         ("repro.experiments", "repro.extensions", "repro.cli"),
     ),
     (

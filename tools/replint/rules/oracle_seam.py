@@ -1,0 +1,149 @@
+"""REP006 — core and search stay behind the delay-oracle seam.
+
+PR 4 introduced :class:`repro.oracle.base.DelayOracle` as the single seam
+through which the upper layers obtain underlay delays, so the backend —
+exact batched Dijkstra or a landmark embedding — is a scenario choice
+rather than a code path.  The seam only holds if nothing above it reaches
+around: a ``repro.core`` policy calling
+``PhysicalTopology.delay()`` directly would silently pin that policy to
+the exact engine, and a landmark-configured experiment would report costs
+from two different backends at once.
+
+This rule audits ``repro.core`` and ``repro.search`` for direct calls to
+the underlay query surface (``delay`` / ``delays_from`` /
+``delays_from_many``) on anything that is recognizably a
+``PhysicalTopology``:
+
+* an attribute spelled ``.physical`` / ``._physical`` (the conventional
+  handles on overlays and oracles), or
+* a local name bound from ``PhysicalTopology(...)``,
+  ``PhysicalTopology.attach_shared(...)`` or ``build_underlay(...)``, or
+  annotated as ``PhysicalTopology``.
+
+Route the lookup through the overlay (``cost``/``costs_from``) or an
+oracle (``overlay.oracle``) instead.  Deliberate exceptions — e.g. a
+diagnostic that must compare backends — carry a line suppression with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import FileContext, Rule, Violation
+
+#: Underlay query methods the seam exists to intercept.
+_QUERY_METHODS = frozenset({"delay", "delays_from", "delays_from_many"})
+
+#: Attribute names conventionally holding a ``PhysicalTopology``.
+_PHYSICAL_ATTRS = frozenset({"physical", "_physical"})
+
+#: Calls whose result is a ``PhysicalTopology``.
+_PHYSICAL_FACTORIES = frozenset({"PhysicalTopology", "build_underlay"})
+
+#: Module prefixes the rule audits.
+_SCOPED_PREFIXES = ("repro.core", "repro.search")
+
+
+class OracleSeamRule(Rule):
+    """Forbid direct underlay delay queries above the oracle seam."""
+
+    code = "REP006"
+    name = "oracle-seam"
+    description = (
+        "repro.core/repro.search must not call PhysicalTopology.delay/"
+        "delays_from* directly; route through a DelayOracle or the "
+        "overlay's cost API"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module is None:
+            return False
+        return any(
+            ctx.module == p or ctx.module.startswith(p + ".")
+            for p in _SCOPED_PREFIXES
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        physical_names = _collect_physical_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _QUERY_METHODS
+            ):
+                continue
+            receiver = node.func.value
+            if _is_physical_receiver(receiver, physical_names):
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    f"direct underlay query .{node.func.attr}() bypasses the "
+                    "delay-oracle seam; use Overlay.cost/costs_from or a "
+                    "DelayOracle so the backend stays swappable",
+                )
+
+
+def _collect_physical_names(tree: ast.Module) -> Set[str]:
+    """Local names that (statically) hold a ``PhysicalTopology``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_physical_producer(node.value):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    names.add(tgt.id)
+        elif isinstance(node, ast.AnnAssign):
+            if _is_physical_annotation(node.annotation) or _is_physical_producer(
+                node.value
+            ):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+        elif isinstance(node, ast.arg):
+            if node.annotation is not None and _is_physical_annotation(
+                node.annotation
+            ):
+                names.add(node.arg)
+    return names
+
+
+def _is_physical_producer(value: object) -> bool:
+    """Whether an expression evaluates to a ``PhysicalTopology``."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Name):
+        return func.id in _PHYSICAL_FACTORIES
+    if isinstance(func, ast.Attribute):
+        # PhysicalTopology.attach_shared(...) or topology.build_underlay(...)
+        if func.attr in _PHYSICAL_FACTORIES:
+            return True
+        return func.attr == "attach_shared" and _mentions_physical(func.value)
+    return False
+
+
+def _is_physical_annotation(annotation: ast.expr) -> bool:
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "PhysicalTopology"
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr == "PhysicalTopology"
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.strip('"') == "PhysicalTopology"
+    return False
+
+
+def _mentions_physical(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "PhysicalTopology"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "PhysicalTopology"
+    return False
+
+
+def _is_physical_receiver(receiver: ast.expr, physical_names: Set[str]) -> bool:
+    """Whether a call receiver is recognizably a ``PhysicalTopology``."""
+    if isinstance(receiver, ast.Attribute) and receiver.attr in _PHYSICAL_ATTRS:
+        return True
+    if isinstance(receiver, ast.Name) and receiver.id in physical_names:
+        return True
+    return False
