@@ -62,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--perf", action="store_true",
                        help="print engine perf counters (Dijkstra runs, "
                             "cache hit rates, queries/sec) after the run")
+        p.add_argument("--scalar-queries", action="store_true",
+                       help="disable the batched propagation kernel and run "
+                            "every query through the scalar reference engine "
+                            "(slower; results are identical)")
 
     p_static = sub.add_parser("static", help="Figures 7-8 (static convergence)")
     add_world_args(p_static)
@@ -305,6 +309,15 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
     counters.reset()
+    if getattr(args, "scalar_queries", False):
+        import os
+
+        from .search.batch import set_batched_queries
+
+        set_batched_queries(False)
+        # Worker processes re-read the knob from the environment, so the
+        # flag reaches spawned trial workers too.
+        os.environ["REPRO_SCALAR_QUERIES"] = "1"
     code = _COMMANDS[args.command](args, out)
     if getattr(args, "perf", False):
         print(counters.format(), file=out)

@@ -169,6 +169,7 @@ class AceProtocol:
         self.rng = ensure_rng(rng)
         self._policy: CandidatePolicy = make_policy(self.config.policy)
         self._states: Dict[int, PeerAceState] = {}
+        self._state_version = 0
         self._steps_run = 0
         if self.config.shed_degree_floor is not None:
             self._shed_floor = max(self.config.min_degree, self.config.shed_degree_floor)
@@ -189,6 +190,18 @@ class AceProtocol:
     def steps_run(self) -> int:
         """Number of completed optimization steps."""
         return self._steps_run
+
+    @property
+    def state_version(self) -> int:
+        """Monotone version of the per-peer routing state.
+
+        Bumped whenever a peer's Phase-2 state is stored or dropped, so the
+        routing decided by :meth:`flooding_neighbors` can only change when
+        either this version or the overlay's ``epoch`` moves.  The compiled
+        ACE forwarding graph (:mod:`repro.search.batch`) keys its cache on
+        the ``(overlay.epoch, state_version)`` pair.
+        """
+        return self._state_version
 
     def state_of(self, peer: int) -> Optional[PeerAceState]:
         """The peer's Phase-2 state, or ``None`` if not yet computed."""
@@ -252,6 +265,7 @@ class AceProtocol:
             closure_edges=closure.num_edges(),
         )
         self._states[peer] = state
+        self._state_version += 1
         return state
 
     def recompute_tree(self, peer: int) -> PeerAceState:
@@ -395,11 +409,13 @@ class AceProtocol:
 
     def handle_peer_joined(self, peer: int) -> None:
         """Invalidate state for a (re)joining peer: it floods until Phase 2."""
-        self._states.pop(peer, None)
+        if self._states.pop(peer, None) is not None:
+            self._state_version += 1
 
     def handle_peer_left(self, peer: int) -> None:
         """Drop protocol state of a departed peer."""
-        self._states.pop(peer, None)
+        if self._states.pop(peer, None) is not None:
+            self._state_version += 1
 
     def rebuild_all_trees(self) -> None:
         """Recompute Phase 2 at every live peer (no Phase 3 mutations)."""

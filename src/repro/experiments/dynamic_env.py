@@ -31,8 +31,9 @@ import numpy as np
 from ..core.ace import AceConfig, AceProtocol
 from ..metrics.accounting import TrafficAccount
 from ..metrics.collector import SeriesCollector
+from ..search.batch import run_queries
 from ..search.caching import IndexCacheStore, cached_query
-from ..search.flooding import blind_flooding_strategy, run_query
+from ..search.flooding import blind_flooding_strategy
 from ..search.tree_routing import ace_strategy
 from ..sim.churn import ChurnConfig, ChurnModel
 from ..sim.engine import EventLoop
@@ -192,6 +193,13 @@ def run_dynamic_experiment(
                 for p in affected:
                     if overlay.has_peer(p):
                         protocol.recompute_tree(p)
+            # Re-warm the edges the churn event created, in the canonical
+            # direction.  A lazily filled cost can differ in the last ulp
+            # depending on which endpoint's delay vector happens to be
+            # cached, and the scalar and batched engines fault edges in
+            # different orders — warming here keeps the cost cache (and so
+            # the figures) engine-independent.
+            overlay.warm_edge_costs()
             series.departures += 1
             schedule_departure(replacement)
 
@@ -226,13 +234,19 @@ def run_dynamic_experiment(
             event = workload.next_query(loop.now, online)
             holders = scenario.catalog.holders_of(event.object_id)
             if caches is not None:
+                # stop_at flows stay on the scalar reference engine.
                 result = cached_query(
                     overlay, event.source, event.object_id, holders,
                     strategy, caches, ttl=config.ttl,
                 )
             else:
-                result = run_query(
-                    overlay, event.source, strategy, holders, ttl=config.ttl
+                # Batched kernel; the compiled graph is memoized per
+                # overlay epoch / ACE state version, so the stretches of
+                # queries between churn events and optimization rounds
+                # share one compilation.
+                (result,) = run_queries(
+                    overlay, strategy, [(event.source, holders)],
+                    ttl=config.ttl,
                 )
             # Amortize accumulated optimization overhead over this query.
             observed = result.traffic_cost + pending_overhead[0]

@@ -24,7 +24,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.ace import AceConfig, AceProtocol
-from ..search.flooding import blind_flooding_strategy, propagate
+from ..search.batch import propagate_single
+from ..search.flooding import blind_flooding_strategy
 from ..search.tree_routing import ace_strategy
 from ..topology.overlay import Overlay
 from ..topology.physical import PhysicalTopology
@@ -130,7 +131,7 @@ def run_walkthrough(
             flooding = protocol.flooding_neighbors(_name_to_id(name))
             trees[name] = tuple(sorted(PEER_NAMES[n] for n in flooding))
 
-    prop = propagate(overlay, src, strategy, ttl=None)
+    prop = propagate_single(overlay, src, strategy, ttl=None)
     paths = []
     for peer, parent in sorted(prop.parent.items()):
         paths.append((PEER_NAMES[parent], PEER_NAMES[peer]))

@@ -28,7 +28,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.ace import AceConfig, AceProtocol
-from ..search.flooding import blind_flooding_strategy, run_query
+from ..search.batch import run_queries
+from ..search.flooding import blind_flooding_strategy
 from ..search.tree_routing import ace_strategy
 from ..sim.workload import ObjectCatalog
 from .parallel import run_trials
@@ -86,16 +87,23 @@ def measure_queries(
 
     Full coverage (``ttl=None``) matches the figures' "search scope is all
     peers" setting.  Response time averages over successful queries only.
+
+    Object sampling stays sequential per present source (the draw order is
+    part of the seeded contract); the propagations themselves run through
+    the batched kernel in one shot (:func:`repro.search.batch.run_queries`),
+    which falls back to the scalar engine per query when the strategy does
+    not compile.
     """
-    traffic = 0.0
-    scope = 0.0
-    responses: List[float] = []
+    queries: List[Tuple[int, Tuple[int, ...]]] = []
     for src in sources:
         if not overlay.has_peer(src):
             continue
         obj = catalog.sample_object(rng)
-        holders = catalog.holders_of(obj)
-        result = run_query(overlay, src, strategy, holders, ttl=ttl)
+        queries.append((src, catalog.holders_of(obj)))
+    traffic = 0.0
+    scope = 0.0
+    responses: List[float] = []
+    for result in run_queries(overlay, strategy, queries, ttl=ttl):
         traffic += result.traffic_cost
         scope += result.search_scope
         if result.first_response_time is not None:

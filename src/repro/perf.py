@@ -73,6 +73,12 @@ class PerfCounters:
     oracle_exact_fallbacks: int = 0
     #: Single-source solves spent building landmark embeddings.
     landmark_embed_sources: int = 0
+    #: Forwarding strategies lowered to a CSR graph (cache misses only).
+    compiled_strategies: int = 0
+    #: Queries answered by the vectorized multi-source kernel.
+    batched_queries: int = 0
+    #: Settle rounds executed by the hop-bounded frontier kernel.
+    frontier_rounds: int = 0
 
     # ------------------------------------------------------------------
 
@@ -157,6 +163,11 @@ class PerfCounters:
             f"  oracle: {self.oracle_estimates} estimates, "
             f"{self.oracle_exact_fallbacks} exact fallbacks, "
             f"{self.landmark_embed_sources} landmark embed sources"
+        )
+        lines.append(
+            f"  batched search: {self.batched_queries} queries, "
+            f"{self.compiled_strategies} strategies compiled, "
+            f"{self.frontier_rounds} frontier rounds"
         )
         return "\n".join(lines)
 

@@ -4,8 +4,23 @@
   query-propagation engine.
 * :mod:`~repro.search.tree_routing` — ACE multicast-tree query routing.
 * :mod:`~repro.search.caching` — the response index caching extension.
+* :mod:`~repro.search.batch` — compiled forwarding graphs and the
+  vectorized multi-source propagation kernel.
 """
 
+from .batch import (
+    BatchPropagation,
+    CompiledGraph,
+    QueryStats,
+    RingPropagator,
+    batched_queries_enabled,
+    compile_strategy,
+    propagate_many,
+    propagate_single,
+    run_queries,
+    scalar_queries,
+    set_batched_queries,
+)
 from .caching import IndexCache, IndexCacheStore, cached_query
 from .expanding_ring import (
     DEFAULT_TTL_SCHEDULE,
@@ -43,4 +58,15 @@ __all__ = [
     "RingResult",
     "expanding_ring_query",
     "DEFAULT_TTL_SCHEDULE",
+    "BatchPropagation",
+    "CompiledGraph",
+    "QueryStats",
+    "RingPropagator",
+    "batched_queries_enabled",
+    "compile_strategy",
+    "propagate_many",
+    "propagate_single",
+    "run_queries",
+    "scalar_queries",
+    "set_batched_queries",
 ]

@@ -1,0 +1,889 @@
+"""Compiled forwarding graphs + vectorized multi-source query propagation.
+
+The scalar engine (:func:`repro.search.flooding.propagate`) simulates one
+query at a time with a Python heap — exact, general, and the dominant cost of
+every evaluation arm once the delay hot path is warm.  This module removes
+that last scalar loop for the two strategies the figures actually measure:
+
+1. A **strategy compiler** (:func:`compile_strategy`) lowers a
+   :data:`~repro.search.flooding.ForwardingStrategy` into a
+   :class:`CompiledGraph`: a CSR adjacency over the live peers whose row
+   order *is* the strategy's iteration order.  Blind flooding compiles the
+   overlay edge set once per :attr:`Overlay.epoch
+   <repro.topology.overlay.Overlay.epoch>`; ACE tree routing compiles each
+   relay's ``flooding_neighbors`` set into a *directed* CSR keyed by
+   ``(overlay.epoch, protocol.state_version)``.  Compilation is memoized in
+   per-owner weak caches, so churn/ACE mutations invalidate for free and a
+   static overlay compiles exactly once.
+
+2. A **vectorized multi-source kernel** (:func:`propagate_many`) runs the
+   whole source batch at once: a single batched
+   :func:`scipy.sparse.csgraph.dijkstra` for unlimited-TTL queries, or a
+   hop-bounded numpy frontier-relaxation loop when a TTL applies.  Parents,
+   hop counts, traffic cost and message/duplicate counts are reconstructed
+   vectorially — **bit-identical** to the scalar engine (same floats, same
+   counts), which the equivalence suite pins.
+
+Exactness contract: identical results require strictly positive edge costs
+(true for every generated overlay — peers are placed on distinct hosts).  A
+graph containing a zero-cost edge, a non-compilable strategy, or a
+``stop_at`` predicate (index caching) falls back to the scalar engine, which
+remains the reference implementation.  Batching can be disabled globally
+(:func:`set_batched_queries` / :func:`scalar_queries` / the
+``REPRO_SCALAR_QUERIES`` environment knob, CLI ``--scalar-queries``), which
+the reproducibility suite uses to pin batched == scalar byte-for-byte.
+
+How equivalence is preserved, briefly:
+
+* *Arrival times* — with positive costs, the scalar engine's never-forward-
+  back rule cannot affect first arrivals, so they equal single-source
+  Dijkstra distances over the compiled graph; both engines sum the winning
+  path left-to-right in IEEE doubles.
+* *Parents* — the scalar winner among equal-time arrivals is the minimum
+  sender id (heap entries tie-break on ``(time, target, sender)``); the
+  kernel reproduces it as the min sender over tight edges.
+* *Traffic* — the scalar engine accumulates edge costs in settle order
+  (source first, then reached peers by ``(arrival, peer id)``), iterating
+  each peer's strategy set in Python iteration order with the parent edge
+  skipped in place.  The kernel gathers CSR cost slices in exactly that
+  order and reduces with a sequential ``cumsum``, matching the float sum
+  term for term.
+* *Messages / duplicates* — every transmission is eventually popped exactly
+  once, so ``duplicates = messages - (search_scope - 1)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from time import perf_counter
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+from weakref import WeakKeyDictionary
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from ..perf import counters
+from ..topology.overlay import Overlay
+from .flooding import (
+    GNUTELLA_TTL,
+    ForwardingStrategy,
+    QueryPropagation,
+    propagate,
+    run_query,
+)
+
+__all__ = [
+    "CompiledGraph",
+    "BatchPropagation",
+    "QueryStats",
+    "RingPropagator",
+    "compile_strategy",
+    "propagate_many",
+    "propagate_single",
+    "run_queries",
+    "batched_queries_enabled",
+    "set_batched_queries",
+    "scalar_queries",
+]
+
+# ---------------------------------------------------------------------------
+# Batching toggle
+# ---------------------------------------------------------------------------
+
+_BATCHING = os.environ.get("REPRO_SCALAR_QUERIES", "") not in ("1", "true")
+
+
+def batched_queries_enabled() -> bool:
+    """Whether the high-level helpers route through the batched kernel."""
+    return _BATCHING
+
+
+def set_batched_queries(enabled: bool) -> bool:
+    """Enable/disable batched propagation globally; returns the old value.
+
+    Disabling forces every helper (:func:`run_queries`,
+    :func:`propagate_single`, the experiment drivers) onto the scalar
+    reference engine — results are identical either way; only speed changes.
+    """
+    global _BATCHING
+    previous = _BATCHING
+    _BATCHING = bool(enabled)
+    return previous
+
+
+@contextmanager
+def scalar_queries() -> Iterator[None]:
+    """Context manager running its body on the scalar reference engine."""
+    previous = set_batched_queries(False)
+    try:
+        yield
+    finally:
+        set_batched_queries(previous)
+
+
+# ---------------------------------------------------------------------------
+# Strategy compilation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompiledGraph:
+    """A forwarding strategy lowered to CSR arrays over the live peer set.
+
+    ``targets[indptr[i]:indptr[i+1]]`` lists the forwarding targets of peer
+    ``peer_ids[i]`` *in the strategy's own iteration order* (that order is
+    load-bearing: traffic accounting must add edge costs exactly as the
+    scalar engine does).  ``costs`` are the matching logical-link costs.
+    """
+
+    kind: str
+    peer_ids: np.ndarray
+    indptr: np.ndarray
+    targets: np.ndarray
+    costs: np.ndarray
+    index: Dict[int, int]
+    directed: bool
+
+    def __post_init__(self) -> None:
+        self.degrees = np.diff(self.indptr)
+        #: Source index of every CSR entry (for tight-edge parent recovery).
+        self.edge_src = np.repeat(
+            np.arange(self.num_peers, dtype=np.int64), self.degrees
+        )
+        self.has_zero_cost = bool(self.costs.size) and bool(
+            (self.costs <= 0.0).any()
+        )
+        self._matrix: Optional[csr_matrix] = None
+        self._reverse: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    @property
+    def num_peers(self) -> int:
+        """Number of live peers the graph was compiled over."""
+        return int(self.peer_ids.size)
+
+    @property
+    def supports_exact(self) -> bool:
+        """Whether the kernels guarantee bit-identity with the scalar engine.
+
+        Requires strictly positive edge costs; a zero-cost edge (two peers
+        on one physical host — never produced by the generators) makes the
+        scalar heap's pop order unrecoverable, so exact callers fall back.
+        """
+        return not self.has_zero_cost
+
+    @property
+    def matrix(self) -> csr_matrix:
+        """The scipy CSR matrix view (built lazily, shared across queries)."""
+        if self._matrix is None:
+            n = self.num_peers
+            self._matrix = csr_matrix(
+                (self.costs, self.targets, self.indptr), shape=(n, n)
+            )
+        return self._matrix
+
+    @property
+    def reverse(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """In-edge CSR ``(indptr, senders, costs)``, built lazily."""
+        if self._reverse is None:
+            n = self.num_peers
+            order = np.argsort(self.targets, kind="stable")
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(self.targets, minlength=n), out=indptr[1:])
+            self._reverse = (indptr, self.edge_src[order], self.costs[order])
+        return self._reverse
+
+    def index_of(self, peers: Sequence[int]) -> np.ndarray:
+        """Map peer ids to row indices (raises ``KeyError`` on unknowns)."""
+        return np.array([self.index[p] for p in peers], dtype=np.int64)
+
+
+# Weak per-owner memo caches: a compiled graph lives exactly as long as the
+# overlay/protocol it describes, and is invalidated by version-key mismatch.
+_FLOODING_CACHE: "WeakKeyDictionary[Overlay, Tuple[int, CompiledGraph]]" = (
+    WeakKeyDictionary()
+)
+_ACE_CACHE: "WeakKeyDictionary[object, Tuple[Tuple[int, int], CompiledGraph]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _build_graph(
+    overlay: Overlay,
+    forward_sets: Iterable[Tuple[int, Iterable[int]]],
+    kind: str,
+    directed: bool,
+) -> CompiledGraph:
+    peers = overlay.peers()
+    index = {p: i for i, p in enumerate(peers)}
+    indptr = np.zeros(len(peers) + 1, dtype=np.int64)
+    targets: List[int] = []
+    costs: List[float] = []
+    for i, (peer, fwd) in enumerate(forward_sets):
+        fwd_list = list(fwd)
+        # One batched cost lookup per row (dict hits on a warmed overlay).
+        cost_map = overlay.costs_from(peer, fwd_list)
+        targets.extend(index[t] for t in fwd_list)
+        costs.extend(cost_map[t] for t in fwd_list)
+        indptr[i + 1] = indptr[i] + len(fwd_list)
+    counters.compiled_strategies += 1
+    return CompiledGraph(
+        kind=kind,
+        peer_ids=np.array(peers, dtype=np.int64),
+        indptr=indptr,
+        targets=np.array(targets, dtype=np.int64),
+        costs=np.array(costs, dtype=np.float64),
+        index=index,
+        directed=directed,
+    )
+
+
+def _flooding_graph(overlay: Overlay) -> CompiledGraph:
+    cached = _FLOODING_CACHE.get(overlay)
+    if cached is not None and cached[0] == overlay.epoch:
+        return cached[1]
+    epoch = overlay.epoch
+    # Iterate the live neighbor sets themselves: CSR row order must equal
+    # the set iteration order the scalar engine sees at forward time.
+    graph = _build_graph(
+        overlay,
+        ((p, overlay.neighbors(p)) for p in overlay.peers()),
+        kind="flooding",
+        directed=False,
+    )
+    _FLOODING_CACHE[overlay] = (epoch, graph)
+    return graph
+
+
+def _ace_graph(overlay: Overlay, protocol: object) -> CompiledGraph:
+    key = (overlay.epoch, protocol.state_version)  # type: ignore[attr-defined]
+    cached = _ACE_CACHE.get(protocol)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    # flooding_neighbors() builds its answer set the same way at compile
+    # time as at forward time, so iteration order matches the scalar path.
+    flooding_neighbors = protocol.flooding_neighbors  # type: ignore[attr-defined]
+    graph = _build_graph(
+        overlay,
+        ((p, flooding_neighbors(p)) for p in overlay.peers()),
+        kind="ace",
+        directed=True,
+    )
+    _ACE_CACHE[protocol] = (key, graph)
+    return graph
+
+
+def compile_strategy(
+    overlay: Overlay, strategy: ForwardingStrategy
+) -> Optional[CompiledGraph]:
+    """Lower *strategy* to a :class:`CompiledGraph`, or ``None``.
+
+    Only strategies that declare a ``compiled_spec`` attribute — the
+    closures returned by :func:`~repro.search.flooding.blind_flooding_strategy`
+    and :func:`~repro.search.tree_routing.ace_strategy` — are compilable,
+    and only against the overlay they were built for.  Results are memoized
+    per owner and invalidated by epoch/state-version mismatch.
+    """
+    spec = getattr(strategy, "compiled_spec", None)
+    if spec is None:
+        return None
+    kind, owner = spec
+    if kind == "flooding":
+        if owner is not overlay:
+            return None
+        return _flooding_graph(overlay)
+    if kind == "ace":
+        if getattr(owner, "overlay", None) is not overlay:
+            return None
+        return _ace_graph(overlay, owner)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+
+def _csr_slices(
+    graph: CompiledGraph, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat CSR entry indices for *rows*, plus each entry's row repeat map.
+
+    Returns ``(flat, owner)`` where ``graph.targets[flat]`` walks the rows'
+    adjacency lists in order and ``owner[k]`` is the position in *rows* that
+    entry ``k`` belongs to.
+    """
+    lengths = graph.degrees[rows]
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    starts = graph.indptr[rows]
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(lengths) - lengths, lengths
+    )
+    flat = np.repeat(starts, lengths) + offsets
+    owner = np.repeat(np.arange(rows.size, dtype=np.int64), lengths)
+    return flat, owner
+
+
+def _first_per_key(
+    key: np.ndarray, *tiebreak: np.ndarray
+) -> np.ndarray:
+    """Indices selecting, per distinct *key*, the lex-min tiebreak entry."""
+    order = np.lexsort(tuple(reversed(tiebreak)) + (key,))
+    sorted_keys = key[order]
+    first = np.ones(sorted_keys.size, dtype=bool)
+    first[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    return order[first]
+
+
+def _dijkstra_labels(
+    graph: CompiledGraph, src_idx: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unlimited-TTL labels via one batched scipy Dijkstra.
+
+    Returns ``(dist, parent, hops)`` with shape ``(len(src_idx), n)``;
+    ``parent``/``hops`` are ``-1`` off the reached set and at the source
+    (``hops`` is 0 there).
+    """
+    n = graph.num_peers
+    dist = dijkstra(graph.matrix, directed=True, indices=src_idx)
+    dist = np.atleast_2d(dist)
+
+    # Parent = minimum sender over tight edges (dist[u] + c == dist[v]),
+    # matching the scalar heap's (time, target, sender) pop order.
+    e_src, e_dst, e_cost = graph.edge_src, graph.targets, graph.costs
+    du = dist[:, e_src]
+    cand = np.isfinite(du)
+    np.logical_and(cand, du + e_cost[None, :] == dist[:, e_dst], out=cand)
+    rows, eidx = np.nonzero(cand)
+    parent = np.full(dist.shape, -1, dtype=np.int64)
+    if rows.size:
+        vs = e_dst[eidx]
+        sel = _first_per_key(rows * n + vs, e_src[eidx])
+        parent[rows[sel], vs[sel]] = e_src[eidx][sel]
+
+    # Hops by pointer doubling over the parent forest (roots self-loop).
+    identity = np.arange(n, dtype=np.int64)
+    jump = np.where(parent >= 0, parent, identity[None, :])
+    hops = (parent >= 0).astype(np.int64)
+    while True:
+        nxt = np.take_along_axis(jump, jump, axis=1)
+        if np.array_equal(nxt, jump):
+            break
+        hops += np.take_along_axis(hops, jump, axis=1)
+        jump = nxt
+    hops[~np.isfinite(dist)] = -1
+    return dist, parent, hops
+
+
+def _gate_row(
+    graph: CompiledGraph,
+    dist_row: np.ndarray,
+    parent_row: np.ndarray,
+    hops_row: np.ndarray,
+    ttl: int,
+) -> None:
+    """Repair one row of unbounded labels into exact hop-bounded labels.
+
+    The TTL gate only suppresses forwarding by peers whose *winning* arrival
+    used ``ttl`` hops, so (by induction in settle order) every peer whose
+    unbounded hop count is ``<= ttl`` keeps its unbounded label unchanged.
+    Only the *fringe* — peers with unbounded hops ``> ttl`` — can move: they
+    are re-settled by a small exact heap simulation seeded with the messages
+    the frozen interior forwards across the boundary, forwarding onward
+    among fringe peers only.  The fringe is empty for well-connected
+    overlays at Gnutella TTLs, and the simulation visits only delivered
+    messages, so this costs far less than a full scalar propagate.
+    """
+    finite = np.isfinite(dist_row)
+    fringe = finite & (hops_row > ttl)
+    if not fringe.any():
+        return
+    rev_indptr, rev_src, rev_cost = graph.reverse
+    fringe_idx = np.flatnonzero(fringe)
+    lengths = rev_indptr[fringe_idx + 1] - rev_indptr[fringe_idx]
+    total = int(lengths.sum())
+    heap: List[Tuple[float, int, int, int]] = []
+    if total:
+        starts = rev_indptr[fringe_idx]
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lengths) - lengths, lengths
+        )
+        flat = np.repeat(starts, lengths) + offsets
+        senders = rev_src[flat]
+        vv = np.repeat(fringe_idx, lengths)
+        # Boundary messages: reached interior peers within the gate forward
+        # into the fringe, never back to their own parent.
+        ok = (
+            finite[senders]
+            & ~fringe[senders]
+            & (hops_row[senders] < ttl)
+            & (parent_row[senders] != vv)
+        )
+        senders, vv = senders[ok], vv[ok]
+        times = dist_row[senders] + rev_cost[flat][ok]
+        heap = list(
+            zip(
+                times.tolist(),
+                vv.tolist(),
+                senders.tolist(),
+                (hops_row[senders] + 1).tolist(),
+            )
+        )
+        heapq.heapify(heap)
+    dist_row[fringe_idx] = np.inf
+    parent_row[fringe_idx] = -1
+    hops_row[fringe_idx] = -1
+    indptr, targets, costs = graph.indptr, graph.targets, graph.costs
+    while heap:
+        t, v, sender, h = heapq.heappop(heap)
+        if np.isfinite(dist_row[v]):
+            continue  # duplicate; counts are recomputed from final labels
+        dist_row[v] = t
+        parent_row[v] = sender
+        hops_row[v] = h
+        counters.frontier_rounds += 1
+        if h >= ttl:
+            continue
+        for k in range(int(indptr[v]), int(indptr[v + 1])):
+            w = int(targets[k])
+            if w == sender or not fringe[w] or np.isfinite(dist_row[w]):
+                continue
+            heapq.heappush(heap, (t + float(costs[k]), w, v, h + 1))
+
+
+def _gated_labels(
+    graph: CompiledGraph, src_idx: np.ndarray, ttl: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact hop-bounded labels: batched Dijkstra + per-row fringe repair."""
+    dist, parent, hops = _dijkstra_labels(graph, src_idx)
+    for r in range(dist.shape[0]):
+        _gate_row(graph, dist[r], parent[r], hops[r], ttl)
+    return dist, parent, hops
+
+
+def _roundwise_labels(
+    graph: CompiledGraph, src_idx: np.ndarray, ttl: Optional[int]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Hop-bounded labels via round-based frontier relaxation.
+
+    The fallback kernel for graphs containing zero-cost edges (which the
+    scipy path cannot represent): each round settles, per source row, every
+    unsettled peer whose tentative arrival equals the row minimum, then
+    relaxes the out-edges of newly settled peers that are still within TTL.
+    Tentative labels keep the lexicographically smallest ``(arrival,
+    sender)`` pair, which is the scalar tie-break.
+    """
+    n = graph.num_peers
+    S = src_idx.size
+    dist = np.full((S, n), np.inf)
+    parent = np.full((S, n), -1, dtype=np.int64)
+    hops = np.full((S, n), -1, dtype=np.int64)
+    settled = np.zeros((S, n), dtype=bool)
+    row_ids = np.arange(S)
+    dist[row_ids, src_idx] = 0.0
+    hops[row_ids, src_idx] = 0
+
+    while True:
+        tentative = np.where(settled, np.inf, dist)
+        frontier_time = tentative.min(axis=1)
+        if not np.isfinite(frontier_time).any():
+            break
+        counters.frontier_rounds += 1
+        newly = (
+            ~settled
+            & np.isfinite(dist)
+            & (dist == frontier_time[:, None])
+        )
+        settled |= newly
+        forwarders = newly if ttl is None else newly & (hops < ttl)
+        f_rows, f_nodes = np.nonzero(forwarders)
+        if f_rows.size == 0:
+            continue
+        flat, owner = _csr_slices(graph, f_nodes)
+        if flat.size == 0:
+            continue
+        rr = f_rows[owner]
+        uu = f_nodes[owner]
+        vv = graph.targets[flat]
+        arrival = dist[rr, uu] + graph.costs[flat]
+        new_hops = hops[rr, uu] + 1
+        # Senders' parents are already settled, so updating only unsettled
+        # targets reproduces the never-forward-back rule for labels.
+        open_target = ~settled[rr, vv]
+        rr, uu, vv = rr[open_target], uu[open_target], vv[open_target]
+        arrival, new_hops = arrival[open_target], new_hops[open_target]
+        if rr.size == 0:
+            continue
+        sel = _first_per_key(rr * n + vv, arrival, uu)
+        rr, uu, vv = rr[sel], uu[sel], vv[sel]
+        arrival, new_hops = arrival[sel], new_hops[sel]
+        current = dist[rr, vv]
+        current_parent = parent[rr, vv]
+        better = (arrival < current) | (
+            (arrival == current) & (uu < current_parent)
+        )
+        rr, uu, vv = rr[better], uu[better], vv[better]
+        dist[rr, vv] = arrival[better]
+        parent[rr, vv] = uu
+        hops[rr, vv] = new_hops[better]
+    return dist, parent, hops
+
+
+def _account_row(
+    graph: CompiledGraph,
+    dist_row: np.ndarray,
+    parent_row: np.ndarray,
+    hops_row: np.ndarray,
+    ttl: Optional[int],
+) -> Tuple[int, float, int]:
+    """(messages, traffic, duplicates) for one query, in scalar float order.
+
+    Forwarders are visited in settle order — the source first (arrival 0 is
+    the unique minimum), then by ``(arrival, peer id)`` — each contributing
+    its CSR cost slice with the edge back to its parent masked out in place.
+    The sequential ``cumsum`` reduction reproduces the scalar engine's
+    left-to-right float accumulation exactly.
+    """
+    reached = np.flatnonzero(np.isfinite(dist_row))
+    order = np.lexsort((reached, dist_row[reached]))
+    forwarders = reached[order]
+    if ttl is not None:
+        forwarders = forwarders[hops_row[forwarders] < ttl]
+    flat, owner = _csr_slices(graph, forwarders)
+    if flat.size == 0:
+        return 0, 0.0, 0
+    keep = graph.targets[flat] != parent_row[forwarders[owner]]
+    kept_costs = graph.costs[flat][keep]
+    messages = int(kept_costs.size)
+    traffic = float(np.cumsum(kept_costs)[-1]) if messages else 0.0
+    # Every pushed message pops exactly once: either it settles a peer
+    # (scope - 1 of those) or it is counted as a duplicate.
+    return messages, traffic, messages - (int(reached.size) - 1)
+
+
+# ---------------------------------------------------------------------------
+# Batched propagation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Search-quality summary of one batched query (cf. ``QueryResult``)."""
+
+    source: int
+    traffic_cost: float
+    search_scope: int
+    holders_reached: Tuple[int, ...]
+    first_response_time: Optional[float]
+
+    @property
+    def success(self) -> bool:
+        """Whether any object holder was reached."""
+        return self.first_response_time is not None
+
+
+class BatchPropagation:
+    """Column-oriented record of a whole batch of query propagations.
+
+    Per-query views are materialized lazily: :meth:`stats` answers the
+    experiment metrics straight from the arrays, :meth:`result` rebuilds a
+    full scalar-compatible :class:`~repro.search.flooding.QueryPropagation`.
+    """
+
+    def __init__(
+        self,
+        graph: CompiledGraph,
+        sources: List[int],
+        ttl: Optional[int],
+        dist: np.ndarray,
+        parent: np.ndarray,
+        hops: np.ndarray,
+        messages: np.ndarray,
+        traffic: np.ndarray,
+        duplicates: np.ndarray,
+    ) -> None:
+        self.graph = graph
+        self.sources = sources
+        self.ttl = ttl
+        self.dist = dist
+        self.parent = parent
+        self.hops = hops
+        self.messages = messages
+        self.traffic = traffic
+        self.duplicates = duplicates
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    def search_scope(self, i: int) -> int:
+        """Number of peers reached by query *i*."""
+        return int(np.isfinite(self.dist[i]).sum())
+
+    def stats(self, i: int, holders: Iterable[int]) -> QueryStats:
+        """Evaluate query *i* against an object's holders (no dict build)."""
+        source = self.sources[i]
+        dist_row = self.dist[i]
+        index = self.graph.index
+        reached_holders: List[int] = []
+        first: Optional[float] = None
+        for h in holders:
+            if h == source:
+                continue
+            j = index.get(h)
+            if j is None:
+                continue
+            t = dist_row[j]
+            if not np.isfinite(t):
+                continue
+            reached_holders.append(h)
+            response = 2.0 * float(t)
+            if first is None or response < first:
+                first = response
+        return QueryStats(
+            source=source,
+            traffic_cost=float(self.traffic[i]),
+            search_scope=self.search_scope(i),
+            holders_reached=tuple(sorted(reached_holders)),
+            first_response_time=first,
+        )
+
+    def result(self, i: int) -> QueryPropagation:
+        """Materialize query *i* as a scalar-identical ``QueryPropagation``."""
+        prop = QueryPropagation(source=self.sources[i])
+        ids = self.graph.peer_ids
+        dist_row, parent_row, hops_row = (
+            self.dist[i],
+            self.parent[i],
+            self.hops[i],
+        )
+        for j in np.flatnonzero(np.isfinite(dist_row)):
+            peer = int(ids[j])
+            prop.arrival_time[peer] = float(dist_row[j])
+            prop.hops[peer] = int(hops_row[j])
+            if parent_row[j] >= 0:
+                prop.parent[peer] = int(ids[parent_row[j]])
+        prop.traffic_cost = float(self.traffic[i])
+        prop.messages = int(self.messages[i])
+        prop.duplicate_messages = int(self.duplicates[i])
+        return prop
+
+
+def propagate_many(
+    overlay: Overlay,
+    sources: Sequence[int],
+    strategy: ForwardingStrategy,
+    ttl: Optional[int] = GNUTELLA_TTL,
+    graph: Optional[CompiledGraph] = None,
+    chunk_size: int = 256,
+) -> BatchPropagation:
+    """Propagate one query per source through the compiled strategy graph.
+
+    The batch shares one compiled CSR graph and runs source rows *chunk_size*
+    at a time to bound the working set.  ``ttl=None`` takes the batched
+    scipy-Dijkstra path; an integer TTL runs the frontier kernel.  Raises
+    ``ValueError`` for strategies :func:`compile_strategy` cannot lower (use
+    the scalar engine for those) and ``KeyError`` for unknown sources.
+
+    Results are bit-identical to the scalar engine whenever
+    :attr:`CompiledGraph.supports_exact` holds (always, for generated
+    overlays); exactness-critical callers like :func:`run_queries` check the
+    flag and fall back themselves.
+    """
+    if graph is None:
+        graph = compile_strategy(overlay, strategy)
+        if graph is None:
+            raise ValueError(
+                "strategy is not compilable; use the scalar propagate()"
+            )
+    for s in sources:
+        if not overlay.has_peer(s):
+            raise KeyError(f"peer {s} not in overlay")
+    started = perf_counter()
+    source_list = [int(s) for s in sources]
+    src_idx = graph.index_of(source_list)
+    n = graph.num_peers
+    S = src_idx.size
+
+    dist = np.empty((S, n))
+    parent = np.empty((S, n), dtype=np.int64)
+    hops = np.empty((S, n), dtype=np.int64)
+    for start in range(0, S, chunk_size):
+        chunk = src_idx[start : start + chunk_size]
+        if graph.has_zero_cost:
+            d, p, h = _roundwise_labels(graph, chunk, ttl)
+        elif ttl is None:
+            d, p, h = _dijkstra_labels(graph, chunk)
+        else:
+            d, p, h = _gated_labels(graph, chunk, ttl)
+        dist[start : start + chunk_size] = d
+        parent[start : start + chunk_size] = p
+        hops[start : start + chunk_size] = h
+
+    messages = np.zeros(S, dtype=np.int64)
+    traffic = np.zeros(S)
+    duplicates = np.zeros(S, dtype=np.int64)
+    for i in range(S):
+        messages[i], traffic[i], duplicates[i] = _account_row(
+            graph, dist[i], parent[i], hops[i], ttl
+        )
+
+    counters.batched_queries += S
+    counters.queries += S
+    counters.query_seconds += perf_counter() - started
+    return BatchPropagation(
+        graph=graph,
+        sources=source_list,
+        ttl=ttl,
+        dist=dist,
+        parent=parent,
+        hops=hops,
+        messages=messages,
+        traffic=traffic,
+        duplicates=duplicates,
+    )
+
+
+# ---------------------------------------------------------------------------
+# High-level helpers (scalar fallback built in)
+# ---------------------------------------------------------------------------
+
+
+def _exact_graph(
+    overlay: Overlay, strategy: ForwardingStrategy
+) -> Optional[CompiledGraph]:
+    """The compiled graph when batching may replace the scalar engine."""
+    if not _BATCHING:
+        return None
+    graph = compile_strategy(overlay, strategy)
+    if graph is None or not graph.supports_exact:
+        return None
+    return graph
+
+
+def propagate_single(
+    overlay: Overlay,
+    source: int,
+    strategy: ForwardingStrategy,
+    ttl: Optional[int] = GNUTELLA_TTL,
+    graph: Optional[CompiledGraph] = None,
+) -> QueryPropagation:
+    """Drop-in :func:`~repro.search.flooding.propagate` on the fast path.
+
+    Uses the batched kernel (sharing the epoch-memoized compiled graph)
+    when the strategy compiles and exactness holds; falls back to the
+    scalar engine otherwise.  Always returns a full ``QueryPropagation``.
+    """
+    if graph is None:
+        graph = _exact_graph(overlay, strategy)
+    if graph is None:
+        return propagate(overlay, source, strategy, ttl=ttl)
+    return propagate_many(
+        overlay, [source], strategy, ttl=ttl, graph=graph
+    ).result(0)
+
+
+class RingPropagator:
+    """Shared propagation state for expanding-ring (iterative deepening).
+
+    The rings of one expanding-ring search differ only in TTL, so the
+    compiled graph *and* the batched unbounded-label solve are computed once
+    and each ring merely re-runs the cheap fringe repair
+    (:func:`_gate_row`) plus accounting against its own TTL.  Falls back to
+    the scalar engine per ring when the strategy does not compile exactly.
+    """
+
+    def __init__(
+        self, overlay: Overlay, source: int, strategy: ForwardingStrategy
+    ) -> None:
+        self._overlay = overlay
+        self._source = source
+        self._strategy = strategy
+        self._graph = _exact_graph(overlay, strategy)
+        self._base: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def propagate(self, ttl: Optional[int]) -> QueryPropagation:
+        """One ring's full propagation record at the given TTL."""
+        graph = self._graph
+        if graph is None:
+            return propagate(self._overlay, self._source, self._strategy, ttl=ttl)
+        if not self._overlay.has_peer(self._source):
+            raise KeyError(f"peer {self._source} not in overlay")
+        started = perf_counter()
+        if self._base is None:
+            self._base = _dijkstra_labels(graph, graph.index_of([self._source]))
+        dist, parent, hops = (a.copy() for a in self._base)
+        if ttl is not None:
+            _gate_row(graph, dist[0], parent[0], hops[0], ttl)
+        messages, traffic, duplicates = _account_row(
+            graph, dist[0], parent[0], hops[0], ttl
+        )
+        counters.batched_queries += 1
+        counters.queries += 1
+        counters.query_seconds += perf_counter() - started
+        return BatchPropagation(
+            graph=graph,
+            sources=[self._source],
+            ttl=ttl,
+            dist=dist,
+            parent=parent,
+            hops=hops,
+            messages=np.array([messages], dtype=np.int64),
+            traffic=np.array([traffic]),
+            duplicates=np.array([duplicates], dtype=np.int64),
+        ).result(0)
+
+
+def run_queries(
+    overlay: Overlay,
+    strategy: ForwardingStrategy,
+    queries: Sequence[Tuple[int, Iterable[int]]],
+    ttl: Optional[int] = GNUTELLA_TTL,
+) -> List[QueryStats]:
+    """Evaluate a batch of ``(source, holders)`` queries in one shot.
+
+    The experiment drivers' entry point: one compiled graph, one vectorized
+    kernel invocation, light per-query stats (no per-peer dicts).  Strategies
+    the compiler cannot lower — custom closures, ``stop_at`` flows — are
+    answered by looping the scalar :func:`~repro.search.flooding.run_query`,
+    with identical numbers.
+    """
+    query_list = list(queries)
+    graph = _exact_graph(overlay, strategy)
+    if graph is None:
+        out: List[QueryStats] = []
+        for source, holders in query_list:
+            result = run_query(overlay, source, strategy, holders, ttl=ttl)
+            out.append(
+                QueryStats(
+                    source=source,
+                    traffic_cost=result.traffic_cost,
+                    search_scope=result.search_scope,
+                    holders_reached=result.holders_reached,
+                    first_response_time=result.first_response_time,
+                )
+            )
+        return out
+    batch = propagate_many(
+        overlay,
+        [source for source, _ in query_list],
+        strategy,
+        ttl=ttl,
+        graph=graph,
+    )
+    return [
+        batch.stats(i, holders)
+        for i, (_, holders) in enumerate(query_list)
+    ]

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..topology.overlay import Overlay
-from .flooding import ForwardingStrategy, propagate
+from .batch import RingPropagator
+from .flooding import ForwardingStrategy
 
 __all__ = ["RingResult", "expanding_ring_query", "DEFAULT_TTL_SCHEDULE"]
 
@@ -62,6 +63,13 @@ def expanding_ring_query(
     successful round is offset by the elapsed wall time of the failed
     rounds: each failed ring costs its own full round-trip diameter plus
     *round_trip_wait* of timer slack.
+
+    All rings share one :class:`~repro.search.batch.RingPropagator` — the
+    compiled forwarding graph and the batched label solve are computed once
+    and each ring only re-applies its own TTL gate.  Once a ring *saturates*
+    (no reached peer sits exactly at the TTL boundary, so no forwarding was
+    suppressed), every deeper ring is provably identical and is reused
+    without recomputation.
     """
     if not ttl_schedule:
         raise ValueError("ttl_schedule must not be empty")
@@ -69,13 +77,18 @@ def expanding_ring_query(
         raise ValueError("ttl_schedule must be strictly increasing")
     holder_set = {h for h in holders if h != source}
 
+    propagator = RingPropagator(overlay, source, strategy)
     total_traffic = 0.0
     total_messages = 0
     elapsed = 0.0
-    last_prop = None
+    prop = None
+    saturated = False
     for round_idx, ttl in enumerate(ttl_schedule, start=1):
-        prop = propagate(overlay, source, strategy, ttl=ttl)
-        last_prop = prop
+        if prop is None or not saturated:
+            prop = propagator.propagate(ttl)
+            # Saturated: every reached peer still had TTL budget left, so a
+            # deeper ring delivers the same messages at the same times.
+            saturated = all(h < ttl for h in prop.hops.values())
         total_traffic += prop.traffic_cost
         total_messages += prop.messages
         found = [h for h in holder_set if h in prop.arrival_time]
@@ -101,7 +114,7 @@ def expanding_ring_query(
         ttl_used=None,
         traffic_cost=total_traffic,
         messages=total_messages,
-        reached=last_prop.reached if last_prop is not None else {source},
+        reached=prop.reached if prop is not None else {source},
         holders_reached=(),
         first_response_time=None,
     )

@@ -150,6 +150,9 @@ def blind_flooding_strategy(overlay: Overlay) -> ForwardingStrategy:
     def strategy(peer: int, came_from: Optional[int]) -> Iterable[int]:
         return overlay.neighbors(peer)
 
+    # Declare the closure compilable: the batched engine can lower it to a
+    # CSR forwarding graph memoized per overlay epoch (repro.search.batch).
+    strategy.compiled_spec = ("flooding", overlay)  # type: ignore[attr-defined]
     return strategy
 
 

@@ -35,6 +35,10 @@ def ace_strategy(protocol: AceProtocol) -> ForwardingStrategy:
     def strategy(peer: int, came_from: Optional[int]) -> Iterable[int]:
         return protocol.flooding_neighbors(peer)
 
+    # Declare the closure compilable: the batched engine lowers every relay's
+    # flooding set into a (directed) CSR graph memoized per
+    # (overlay.epoch, protocol.state_version) pair (repro.search.batch).
+    strategy.compiled_spec = ("ace", protocol)  # type: ignore[attr-defined]
     return strategy
 
 

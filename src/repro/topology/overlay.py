@@ -73,6 +73,7 @@ class Overlay:
         self._adjacency: Dict[int, Set[int]] = {}
         self._cost_cache: Dict[Tuple[int, int], float] = {}
         self._edge_costs: Dict[Tuple[int, int], float] = {}
+        self._epoch = 0
         if hosts:
             for peer, host in hosts.items():
                 self.add_peer(peer, host)
@@ -104,6 +105,20 @@ class Overlay:
         self._oracle = oracle
         self._cost_cache = {}
         self._edge_costs.clear()
+        self._epoch += 1
+
+    @property
+    def epoch(self) -> int:
+        """Monotone structural version of the logical layer.
+
+        Bumped by every mutation that can change the forwarding graph or its
+        edge costs — :meth:`add_peer`, :meth:`remove_peer`, :meth:`connect`,
+        :meth:`disconnect`, :meth:`use_oracle` and
+        :meth:`invalidate_edge_costs` — so derived structures (notably the
+        compiled CSR forwarding graphs in :mod:`repro.search.batch`) can be
+        memoized per epoch and invalidated for free.
+        """
+        return self._epoch
 
     @property
     def num_peers(self) -> int:
@@ -135,6 +150,7 @@ class Overlay:
             raise ValueError(f"host {host} out of range")
         self._hosts[peer] = host
         self._adjacency[peer] = set()
+        self._epoch += 1
 
     def remove_peer(self, peer: int) -> None:
         """Remove a peer and all its logical connections.
@@ -147,6 +163,7 @@ class Overlay:
             self._edge_costs.pop((peer, other) if peer < other else (other, peer), None)
         del self._adjacency[peer]
         del self._hosts[peer]
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     # Edges
@@ -187,6 +204,7 @@ class Overlay:
             return False
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
+        self._epoch += 1
         # Seed the edge-cost cache without touching the underlay: the cost is
         # filled now if the host pair is already known, lazily (or by the
         # next warm_edge_costs sweep) otherwise.
@@ -210,6 +228,7 @@ class Overlay:
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
         self._edge_costs.pop((u, v) if u < v else (v, u), None)
+        self._epoch += 1
         return True
 
     def edges(self) -> Iterator[Tuple[int, int]]:
@@ -350,6 +369,7 @@ class Overlay:
     def invalidate_edge_costs(self) -> None:
         """Drop the whole per-edge cost cache (host-pair memos survive)."""
         self._edge_costs.clear()
+        self._epoch += 1
 
     def total_edge_cost(self) -> float:
         """Sum of logical-link costs over all overlay edges."""
@@ -397,6 +417,7 @@ class Overlay:
         clone._adjacency = {p: set(nbrs) for p, nbrs in self._adjacency.items()}
         clone._cost_cache = self._cost_cache  # shared, append-only cache
         clone._edge_costs = dict(self._edge_costs)  # private: edges diverge
+        clone._epoch = self._epoch  # compiled-graph caches key on identity
         return clone
 
     def to_networkx(self):

@@ -197,7 +197,8 @@ def two_tier_query(
     :func:`repro.search.tree_routing.ace_strategy` of a protocol running on
     ``overlay.backbone`` for the ACE-enabled system).
     """
-    from ..search.flooding import blind_flooding_strategy, propagate
+    from ..search.batch import propagate_single
+    from ..search.flooding import blind_flooding_strategy
 
     backbone = overlay.backbone
     entry = overlay.supernode_of(source)
@@ -211,7 +212,7 @@ def two_tier_query(
 
     if strategy is None:
         strategy = blind_flooding_strategy(backbone)
-    prop = propagate(backbone, entry, strategy, ttl=ttl)
+    prop = propagate_single(backbone, entry, strategy, ttl=ttl)
 
     covered = len(prop.reached) + sum(
         len(overlay.leaves_of(sn)) for sn in prop.reached

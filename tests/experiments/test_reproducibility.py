@@ -17,6 +17,7 @@ from repro.experiments.dynamic_env import (
 from repro.experiments.setup import ScenarioConfig, build_scenario
 from repro.experiments.static_env import run_static_experiment, run_static_trials
 from repro.rng import DEFAULT_SEED, ensure_rng
+from repro.search.batch import scalar_queries
 
 CONFIG = ScenarioConfig(physical_nodes=200, peers=40, avg_degree=6, seed=5)
 
@@ -82,6 +83,41 @@ class TestParallelMatchesSerial:
         direct = run_dynamic_experiment(build_scenario(CONFIG), dyn)
         (via_harness,) = run_dynamic_trials([(CONFIG, dyn)], max_workers=1)
         assert as_bytes(direct) == as_bytes(via_harness)
+
+
+class TestBatchedMatchesScalarEngine:
+    """The batched kernel is an optimization, not a treatment.
+
+    Running the experiments with the compiled-graph engine (the default)
+    must produce byte-identical figures to forcing every query through the
+    scalar reference engine — same floats, same counts.  This is the
+    experiment-level end of the contract pinned peer-by-peer in
+    ``tests/search/test_batched_equivalence.py``.
+    """
+
+    def test_static_experiment_batched_is_byte_identical_to_scalar(self):
+        batched = run_static_experiment(
+            build_scenario(CONFIG), steps=3, query_samples=8
+        )
+        with scalar_queries():
+            scalar = run_static_experiment(
+                build_scenario(CONFIG), steps=3, query_samples=8
+            )
+        assert as_bytes(batched) == as_bytes(scalar)
+
+    def test_dynamic_experiment_batched_is_byte_identical_to_scalar(self):
+        dyn = DynamicConfig(total_queries=120, window=40)
+        batched = run_dynamic_experiment(build_scenario(CONFIG), dyn)
+        with scalar_queries():
+            scalar = run_dynamic_experiment(build_scenario(CONFIG), dyn)
+        assert as_bytes(batched) == as_bytes(scalar)
+
+    def test_dynamic_no_ace_batched_is_byte_identical_to_scalar(self):
+        dyn = DynamicConfig(total_queries=120, window=40, enable_ace=False)
+        batched = run_dynamic_experiment(build_scenario(CONFIG), dyn)
+        with scalar_queries():
+            scalar = run_dynamic_experiment(build_scenario(CONFIG), dyn)
+        assert as_bytes(batched) == as_bytes(scalar)
 
 
 class TestOracleReproducibility:

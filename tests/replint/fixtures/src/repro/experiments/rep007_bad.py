@@ -1,0 +1,25 @@
+"""Fixture: seed-era scalar query loops in an experiment driver."""
+from repro.search.flooding import propagate, run_query
+from repro.search.tree_routing import ace_query
+
+
+def measure(overlay, strategy, sources, holders):
+    traffic = 0.0
+    for src in sources:
+        result = run_query(overlay, src, strategy, holders, ttl=None)
+        traffic += result.traffic_cost
+    return traffic
+
+
+def sweep(overlay, strategy, sources):
+    props = []
+    while sources:
+        props.append(propagate(overlay, sources.pop(), strategy))
+    return props
+
+
+def qualified_call_is_caught(search, overlay, strategy, sources, holders):
+    out = []
+    for src in sources:
+        out.append(search.ace_query(overlay, src, strategy, holders))
+    return out

@@ -1,0 +1,39 @@
+"""Fixture: the sanctioned shapes — batched kernel, fallback, suppression."""
+from repro.search.batch import run_queries
+from repro.search.caching import cached_query
+from repro.search.flooding import propagate, run_query
+
+
+def measure(overlay, strategy, sources, catalog, rng):
+    # The batched path: sample sequentially, propagate in one shot.
+    queries = []
+    for src in sources:
+        queries.append((src, catalog.holders_of(catalog.sample_object(rng))))
+    return sum(
+        r.traffic_cost for r in run_queries(overlay, strategy, queries)
+    )
+
+
+def single_query(overlay, source, strategy, holders):
+    # One scalar call outside any loop is fine (and run_queries handles
+    # the batch-of-one case anyway).
+    return run_query(overlay, source, strategy, holders)
+
+
+def cached_flow(overlay, source, obj, holders, strategy, caches, events):
+    # stop_at flows stay scalar by design; cached_query is not flagged.
+    results = []
+    for _ in events:
+        results.append(
+            cached_query(overlay, source, obj, holders, strategy, caches)
+        )
+    return results
+
+
+def reference_comparison(overlay, strategy, sources):
+    props = []
+    for src in sources:
+        # replint: disable=REP007 — cross-checks the batched kernel against
+        # the scalar reference engine; the loop is the point.
+        props.append(propagate(overlay, src, strategy))
+    return props

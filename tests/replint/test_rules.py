@@ -184,6 +184,44 @@ class TestOracleSeam:
         assert check_file(below_seam, [rules_by_code()["REP006"]]) == []
 
 
+class TestBatchedQueries:
+    def test_bad_fixture_catches_scalar_query_loops(self):
+        violations = run_rule(
+            "REP007", "src/repro/experiments/rep007_bad.py"
+        )
+        assert all(v.code == "REP007" for v in violations)
+        # run_query() in a for body, propagate() in a while body, and a
+        # module-qualified ace_query() in a for body.
+        assert lines(violations) == [9, 17, 24]
+
+    def test_message_points_at_the_batched_api(self):
+        violations = run_rule(
+            "REP007", "src/repro/experiments/rep007_bad.py"
+        )
+        assert all(
+            "run_queries" in v.message and "propagate_many" in v.message
+            for v in violations
+        )
+
+    def test_good_fixture_is_clean(self):
+        # Batched run_queries, a loop-free scalar call, the cached_query
+        # stop_at flow, and a justified suppression are all sanctioned.
+        assert (
+            run_rule("REP007", "src/repro/experiments/rep007_good.py") == []
+        )
+
+    def test_rule_scoped_to_experiment_modules(self, tmp_path):
+        # The scalar engine is the reference implementation: the search
+        # layer's own fallback loop, tests, and benchmarks loop it freely.
+        source = (
+            FIXTURES / "src/repro/experiments/rep007_bad.py"
+        ).read_text()
+        below = tmp_path / "src" / "repro" / "search" / "helper.py"
+        below.parent.mkdir(parents=True)
+        below.write_text(source)
+        assert check_file(below, [rules_by_code()["REP007"]]) == []
+
+
 class TestSuppressions:
     def test_fully_suppressed_fixture_is_clean(self):
         assert check_file(FIXTURES / "suppressed.py", default_rules()) == []

@@ -11,6 +11,8 @@ REP005    no-topology-pickling    built topologies reach workers via shared memo
                                   never pickled into pool submissions
 REP006    oracle-seam             core/search query delays through a DelayOracle,
                                   never PhysicalTopology.delay/delays_from* directly
+REP007    batched-queries         experiments batch query propagation through
+                                  repro.search.batch, never loop the scalar engine
 ========  ======================  =====================================================
 
 ``REP000`` is reserved for parse errors (emitted by the engine, not a rule).
@@ -22,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..engine import Rule
+from .batched_queries import BatchedQueriesRule
 from .cache_coherence import CacheCoherenceRule
 from .determinism import DeterminismRule
 from .layering import LayeringRule
@@ -36,6 +39,7 @@ __all__ = [
     "PerfHygieneRule",
     "NoTopologyPicklingRule",
     "OracleSeamRule",
+    "BatchedQueriesRule",
     "default_rules",
     "rules_by_code",
 ]
@@ -50,6 +54,7 @@ def default_rules() -> List[Rule]:
         PerfHygieneRule(),
         NoTopologyPicklingRule(),
         OracleSeamRule(),
+        BatchedQueriesRule(),
     ]
 
 
