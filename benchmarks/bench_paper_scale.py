@@ -15,9 +15,11 @@ The reported wall-clock and merged counters are recorded in
 """
 
 import os
+import resource
+import time
 
 import pytest
-from conftest import report
+from conftest import record_trajectory, report
 
 from repro.experiments.dynamic_env import DynamicConfig, run_dynamic_trials
 from repro.experiments.paper_scale import PAPER_PHYSICAL_NODES, paper_scenario
@@ -73,7 +75,9 @@ def test_paper_scale_smoke(benchmark, capsys):
         dynamic = run_dynamic_trials(arms, max_workers=workers)
         return static, dynamic
 
+    start = time.perf_counter()
     static, dynamic = benchmark.pedantic(run_smoke, rounds=1, iterations=1)
+    wall_seconds = time.perf_counter() - start
 
     assert all(s.traffic_per_query[0] > 0 for s in static)
     assert all(a.total_queries == DYNAMIC_QUERIES for a in dynamic)
@@ -96,3 +100,21 @@ def test_paper_scale_smoke(benchmark, capsys):
         )
     lines.append(counters.format())
     report(capsys, "\n".join(lines))
+
+    record_trajectory(
+        "bench_paper_scale",
+        underlay_nodes=PAPER_PHYSICAL_NODES,
+        peers=SMOKE_PEERS,
+        workers=workers,
+        wall_seconds=round(wall_seconds, 2),
+        peak_rss_mb=round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+        ),
+        static_traffic_reduction_percent=[
+            round(s.traffic_reduction_percent, 2) for s in static
+        ],
+        dynamic_mean_traffic=[round(a.mean_traffic, 2) for a in dynamic],
+        dijkstra_runs=counters.dijkstra_runs,
+        underlay_builds=counters.underlay_builds,
+        underlay_attaches=counters.underlay_attaches,
+    )

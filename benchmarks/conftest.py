@@ -14,6 +14,9 @@ grow toward paper scale.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
 from typing import Dict
 
 import pytest
@@ -41,6 +44,26 @@ def report(capsys, text: str) -> None:
     with capsys.disabled():
         print()
         print(text)
+
+
+#: Machine-readable performance trajectory appended to by the scale benches
+#: (``bench_soa_engine`` and ``bench_paper_scale``).  One JSON list, one
+#: entry per recorded run, committed alongside the narrative in
+#: ``EXPERIMENTS.md`` so regressions show up as data, not anecdotes.
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_soa.json"
+
+
+def record_trajectory(bench: str, **fields: object) -> None:
+    """Append one timestamped entry to ``BENCH_soa.json``."""
+    entries = []
+    if TRAJECTORY_PATH.exists():
+        entries = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+    entries.append(
+        {"bench": bench, "date": time.strftime("%Y-%m-%d"), **fields}
+    )
+    TRAJECTORY_PATH.write_text(
+        json.dumps(entries, indent=2) + "\n", encoding="utf-8"
+    )
 
 
 def static_series():

@@ -57,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="delay backend: 'exact' (default) or "
                             "'landmark:<k>[:strategy[:estimator]]' for the "
                             "approximate k-landmark embedding")
+        p.add_argument("--engine", default="object",
+                       choices=["object", "array"],
+                       help="overlay engine: the dict-of-sets reference "
+                            "implementation ('object', default) or the "
+                            "struct-of-arrays engine for large peer counts "
+                            "('array'); figures are byte-identical")
         p.add_argument("--json", dest="json_path", default=None,
                        help="also write the result object to this JSON file")
         p.add_argument("--perf", action="store_true",
@@ -126,6 +132,7 @@ def _scenario_config(args, overrides=None):
         avg_degree=args.degree,
         seed=args.seed,
         oracle=getattr(args, "oracle", "exact"),
+        engine=getattr(args, "engine", "object"),
     )
     kwargs.update(overrides or {})
     return ScenarioConfig(**kwargs)

@@ -28,8 +28,10 @@ import numpy as np
 
 from ..rng import ensure_rng
 from ..topology.overlay import Overlay
+from ..topology.soa import ArrayOverlay
 from .closure import ClosureView, neighbor_closure
 from .cost_table import Phase1Report, run_phase1
+from .flat_state import FlatAceStore
 from .policies import CandidatePolicy, make_policy
 from .replacement import ReplacementAction, attempt_replacement
 from .spanning_tree import SpanningTree, prim_mst_heap
@@ -115,10 +117,14 @@ class PeerAceState:
     routing can detect staleness: a neighbor gained since then must be
     flooded to (it is not covered by the tree), and a lost *flooding*
     neighbor breaks the tree entirely.
+
+    ``tree`` is ``None`` when the state was materialized from the flat
+    array store (:class:`~repro.core.flat_state.FlatAceStore`), which keeps
+    only the membership sets the protocol actually routes on.
     """
 
     peer: int
-    tree: SpanningTree
+    tree: Optional[SpanningTree]
     flooding: FrozenSet[int]
     non_flooding: FrozenSet[int]
     known_neighbors: FrozenSet[int]
@@ -169,6 +175,12 @@ class AceProtocol:
         self.rng = ensure_rng(rng)
         self._policy: CandidatePolicy = make_policy(self.config.policy)
         self._states: Dict[int, PeerAceState] = {}
+        # Array-backed overlays pair with the flat ACE-state store: the same
+        # membership/closure facts in struct-of-arrays form instead of one
+        # frozen dataclass per peer.  Routing semantics are identical.
+        self._flat: Optional[FlatAceStore] = (
+            FlatAceStore() if isinstance(overlay, ArrayOverlay) else None
+        )
         self._state_version = 0
         self._steps_run = 0
         if self.config.shed_degree_floor is not None:
@@ -204,7 +216,25 @@ class AceProtocol:
         return self._state_version
 
     def state_of(self, peer: int) -> Optional[PeerAceState]:
-        """The peer's Phase-2 state, or ``None`` if not yet computed."""
+        """The peer's Phase-2 state, or ``None`` if not yet computed.
+
+        In flat-store mode the state is materialized on demand from the
+        membership arrays (``tree`` is ``None`` — only the sets survive).
+        """
+        if self._flat is not None:
+            if peer not in self._flat:
+                return None
+            flooding = self._flat.flooding_of(peer)
+            known = self._flat.known_of(peer)
+            return PeerAceState(
+                peer=peer,
+                tree=None,
+                flooding=flooding,
+                non_flooding=known - flooding,
+                known_neighbors=known,
+                closure_size=self._flat.closure_size_of(peer),
+                closure_edges=self._flat.closure_edges_of(peer),
+            )
         return self._states.get(peer)
 
     def flooding_neighbors(self, peer: int) -> Set[int]:
@@ -221,8 +251,15 @@ class AceProtocol:
         * neighbors gained since the tree was built are not covered by it
           and are flooded to in addition to the tree neighbors.
         """
-        state = self._states.get(peer)
         live = set(self.overlay.neighbors(peer))
+        if self._flat is not None:
+            if peer not in self._flat:
+                return live
+            flooding = self._flat.flooding_of(peer)
+            if not flooding <= live:
+                return live
+            return set(flooding) | (live - self._flat.known_of(peer))
+        state = self._states.get(peer)
         if state is None:
             return live
         if not state.flooding <= live:
@@ -264,7 +301,12 @@ class AceProtocol:
             closure_size=closure.size,
             closure_edges=closure.num_edges(),
         )
-        self._states[peer] = state
+        if self._flat is not None:
+            self._flat.put(
+                peer, flooding, known, closure.size, closure.num_edges()
+            )
+        else:
+            self._states[peer] = state
         self._state_version += 1
         return state
 
@@ -310,7 +352,10 @@ class AceProtocol:
             ):
                 continue
             d_pt = d_peer[target]
-            mutual = my_neighbors & self.overlay.neighbors(target)
+            # Re-fetch the peer's neighbor set: earlier sheds in this loop
+            # mutate the overlay, and engines are free to return snapshots
+            # (ArrayOverlay) rather than a live set (object Overlay).
+            mutual = self.overlay.neighbors(peer) & self.overlay.neighbors(target)
             if not mutual:
                 continue
             d_target = self.overlay.costs_from(target, sorted(mutual))
@@ -386,10 +431,28 @@ class AceProtocol:
         # lazily and swept up by the next step's warm).
         self.overlay.warm_edge_costs()
         report = StepReport(step_index=self._steps_run)
-        for peer in order:
-            if not self.overlay.has_peer(peer):
-                continue
-            self.optimize_peer(peer, report)
+        if self._flat is not None:
+            # Array engine: prefetch each upcoming block's source delay
+            # vectors in one batched underlay solve, so the per-peer
+            # candidate probes below hit the distance LRU instead of each
+            # paying a scalar Dijkstra.  Warming only populates caches —
+            # every delivered value is unchanged — so figures stay
+            # byte-identical to the object engine.
+            block_size = 256
+            for start in range(0, len(order), block_size):
+                block = order[start : start + block_size]
+                self.overlay.warm_sources(
+                    [p for p in block if self.overlay.has_peer(p)]
+                )
+                for peer in block:
+                    if not self.overlay.has_peer(peer):
+                        continue
+                    self.optimize_peer(peer, report)
+        else:
+            for peer in order:
+                if not self.overlay.has_peer(peer):
+                    continue
+                self.optimize_peer(peer, report)
         # Re-run Phase 2 everywhere so flooding sets reflect the final
         # post-step topology (peers whose links were changed later in the
         # round would otherwise route on stale trees until their next turn).
@@ -409,11 +472,19 @@ class AceProtocol:
 
     def handle_peer_joined(self, peer: int) -> None:
         """Invalidate state for a (re)joining peer: it floods until Phase 2."""
+        if self._flat is not None:
+            if self._flat.drop(peer):
+                self._state_version += 1
+            return
         if self._states.pop(peer, None) is not None:
             self._state_version += 1
 
     def handle_peer_left(self, peer: int) -> None:
         """Drop protocol state of a departed peer."""
+        if self._flat is not None:
+            if self._flat.drop(peer):
+                self._state_version += 1
+            return
         if self._states.pop(peer, None) is not None:
             self._state_version += 1
 

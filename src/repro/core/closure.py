@@ -77,15 +77,18 @@ def neighbor_closure(overlay: Overlay, source: int, depth: int) -> ClosureView:
         d += 1
         nxt: List[int] = []
         for u in frontier:
-            for v in overlay.neighbors(u):
+            # Sorted expansion keeps the hop/edge dict orders canonical, so
+            # every overlay engine (object or array) yields the same float
+            # summation order downstream (overhead sums are order-sensitive).
+            for v in sorted(overlay.neighbors(u)):
                 if v not in hop:
                     hop[v] = d
                     nxt.append(v)
         frontier = nxt
 
     members = frozenset(hop)
-    edges: Dict[int, Dict[int, float]] = {m: {} for m in members}
-    for u in members:
+    edges: Dict[int, Dict[int, float]] = {m: {} for m in sorted(members)}
+    for u in sorted(members):
         # Batch all of u's in-closure edge costs in one sweep (symmetric
         # entries filled from the other endpoint are skipped up front).
         targets = [

@@ -48,7 +48,10 @@ class NeighborCostTable:
 
 def build_cost_table(overlay: Overlay, peer: int) -> NeighborCostTable:
     """Probe all direct neighbors of *peer* and form its cost table."""
-    costs = overlay.costs_from(peer, overlay.neighbors(peer))
+    # Sorted probe order: probe_overhead() sums the table values in dict
+    # (insertion) order, so the order must be canonical across overlay
+    # engines for the float totals to be engine-independent.
+    costs = overlay.costs_from(peer, sorted(overlay.neighbors(peer)))
     return NeighborCostTable(owner=peer, costs=dict(costs))
 
 

@@ -39,6 +39,7 @@ from ..topology.overlay import (
 )
 from ..topology.physical import PhysicalTopology
 from ..topology.shm import SharedTopologyHandle
+from ..topology.soa import ArrayOverlay
 
 __all__ = [
     "ScenarioConfig",
@@ -134,6 +135,10 @@ class ScenarioConfig:
     #: pre-oracle engine) or ``"landmark[:k[:strategy[:estimator]]]"`` (see
     #: :func:`repro.oracle.parse_oracle_spec`).
     oracle: str = "exact"
+    #: Overlay engine: ``"object"`` (dict-of-sets reference implementation)
+    #: or ``"array"`` (struct-of-arrays :class:`~repro.topology.soa.ArrayOverlay`
+    #: for large peer counts).  Both produce byte-identical figures.
+    engine: str = "object"
 
     def scaled(self, factor: Optional[float] = None) -> "ScenarioConfig":
         """Scale node counts by *factor* (default: the REPRO_SCALE env)."""
@@ -365,6 +370,10 @@ def build_scenario(
             f"unknown overlay kind {config.overlay_kind!r}; "
             f"choose from {sorted(_OVERLAYS)}"
         )
+    if config.engine not in ("object", "array"):
+        raise ValueError(
+            f"unknown engine {config.engine!r}; choose 'object' or 'array'"
+        )
     oracle_spec = parse_oracle_spec(config.oracle)  # fail fast on typos
     seeds = np.random.SeedSequence(config.seed).spawn(4)
     underlay_rng, overlay_rng, workload_rng, run_rng = (
@@ -389,6 +398,11 @@ def build_scenario(
         if oracle is None:
             oracle = build_oracle(config, physical)
         overlay.use_oracle(oracle)
+    if config.engine == "array":
+        # Generation always runs on the object engine (identical RNG draws),
+        # then the finished overlay is lowered into flat arrays.  The oracle
+        # and epoch carry over, so downstream code sees the same world.
+        overlay = ArrayOverlay.from_overlay(overlay)
     catalog = ObjectCatalog(overlay.peers(), config.workload, workload_rng)
     return Scenario(
         config=config,

@@ -29,7 +29,7 @@ call sites, only answers.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -98,3 +98,36 @@ class DelayOracle(ABC):
         backend has nothing to precompute — e.g. an embedding already
         covers every node).
         """
+
+    #: Whether :meth:`delay_pairs` is cheap enough that callers should
+    #: prefer it over vector prefetching.  ``False`` when answering one
+    #: pair costs a full single-source solve (the exact engine); ``True``
+    #: when a pair is O(landmarks) arithmetic (embedding backends).  The
+    #: struct-of-arrays overlay consults this to decide between block
+    #: pre-warming and direct pairwise fills.
+    pairwise_cheap: bool = False
+
+    def delay_pairs(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> np.ndarray:
+        """Delays for aligned ``(sources[i], targets[i])`` host pairs.
+
+        Must return exactly the values the vector interface would:
+        ``delay_pairs(us, vs)[i] == delays_from(us[i])[vs[i]]`` bit for
+        bit, so callers may mix the two forms without perturbing the
+        one-seed-one-figure contract.  The default groups by source and
+        slices :meth:`delays_from` — one solve per distinct source;
+        backends with a cheap pairwise form override it.
+        """
+        us = np.asarray(sources, dtype=np.int64)
+        vs = np.asarray(targets, dtype=np.int64)
+        if us.shape != vs.shape:
+            raise ValueError("sources and targets must have equal length")
+        out = np.empty(len(us), dtype=np.float64)
+        by_source: Dict[int, List[int]] = {}
+        for i, s in enumerate(us.tolist()):
+            by_source.setdefault(int(s), []).append(i)
+        for s, idx in by_source.items():
+            got = self.delays_from(s, [int(vs[i]) for i in idx])
+            out[idx] = got
+        return out

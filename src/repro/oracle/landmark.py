@@ -491,6 +491,63 @@ class LandmarkOracle(DelayOracle):
             return vec
         return vec[np.asarray(list(targets), dtype=np.int64)]
 
+    #: Per-pair estimates are O(n_landmarks) arithmetic — callers should
+    #: ask for exactly the pairs they need instead of prefetching vectors.
+    pairwise_cheap = True
+
+    def delay_pairs(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> np.ndarray:
+        """Pairwise embedding estimates, bit-identical to the vector path.
+
+        The arithmetic mirrors :meth:`_estimate_vector` column for column —
+        the same elementwise ops and the same axis-0 reductions over the
+        landmark dimension — so ``delay_pairs(us, vs)[i]`` equals
+        ``delays_from(us[i])[vs[i]]`` exactly (max/min are order-exact;
+        the euclidean sum reduces 2-D arrays over axis 0 in both paths).
+        Like the vector interface, this never spends exact-fallback budget.
+        """
+        us = np.asarray(sources, dtype=np.int64)
+        vs = np.asarray(targets, dtype=np.int64)
+        if us.shape != vs.shape:
+            raise ValueError("sources and targets must have equal length")
+        if len(us) == 0:
+            return np.empty(0, dtype=np.float64)
+        n = self._physical.num_nodes
+        for arr in (us, vs):
+            if int(arr.min()) < 0 or int(arr.max()) >= n:
+                raise ValueError("host id out of range")
+        x = self._embedding
+        xu = x[:, us]
+        xv = x[:, vs]
+        with np.errstate(invalid="ignore"):
+            diff = np.abs(xu - xv)
+            if self._estimator == "euclidean":
+                # numpy reduces axis 0 of a wide array by sequential row
+                # accumulation but takes an unrolled 1-D path for narrow
+                # ones, and float addition is not associative — spell the
+                # sequential order out so any pair count matches the
+                # full-vector sum bit for bit.
+                sq = diff * diff
+                acc = sq[0].copy()
+                for row in sq[1:]:
+                    acc += row
+                est = np.sqrt(acc) / math.sqrt(len(self.landmarks))
+            else:
+                lower = np.max(diff, axis=0)
+                if self._estimator == "lower":
+                    est = lower
+                else:
+                    upper = np.min(xu + xv, axis=0)
+                    if self._estimator == "upper":
+                        est = upper
+                    else:  # midpoint
+                        est = 0.5 * (lower + upper)
+        est = np.where(np.isnan(est), np.inf, est)
+        est[us == vs] = 0.0
+        counters.oracle_estimates += len(us)
+        return est
+
     def delays_from_many(
         self, sources: Iterable[int], cache: bool = True
     ) -> Dict[int, np.ndarray]:

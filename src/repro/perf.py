@@ -79,6 +79,12 @@ class PerfCounters:
     batched_queries: int = 0
     #: Settle rounds executed by the hop-bounded frontier kernel.
     frontier_rounds: int = 0
+    #: CSR re-packs performed by the struct-of-arrays overlay engine.
+    soa_compactions: int = 0
+    #: Compactions that had buffered edits/tombstones to fold in.
+    soa_edit_buffer_flushes: int = 0
+    #: Flat ACE-state store re-packs of the membership snapshot arrays.
+    array_state_syncs: int = 0
 
     # ------------------------------------------------------------------
 
@@ -168,6 +174,11 @@ class PerfCounters:
             f"  batched search: {self.batched_queries} queries, "
             f"{self.compiled_strategies} strategies compiled, "
             f"{self.frontier_rounds} frontier rounds"
+        )
+        lines.append(
+            f"  array engine: {self.soa_compactions} compactions "
+            f"({self.soa_edit_buffer_flushes} with buffered edits), "
+            f"{self.array_state_syncs} state syncs"
         )
         return "\n".join(lines)
 

@@ -254,14 +254,31 @@ def _flooding_graph(overlay: Overlay) -> CompiledGraph:
     if cached is not None and cached[0] == overlay.epoch:
         return cached[1]
     epoch = overlay.epoch
-    # Iterate the live neighbor sets themselves: CSR row order must equal
-    # the set iteration order the scalar engine sees at forward time.
-    graph = _build_graph(
-        overlay,
-        ((p, overlay.neighbors(p)) for p in overlay.peers()),
-        kind="flooding",
-        directed=False,
-    )
+    # CSR row order must equal the (sorted) order the scalar engine's
+    # strategy yields at forward time — blind_flooding_strategy sorts, so
+    # the compiled rows sort too.  Array-backed overlays lower their CSR
+    # storage directly instead of materializing per-peer neighbor sets.
+    lower = getattr(overlay, "flooding_csr", None)
+    if lower is not None:
+        peers, indptr, targets, costs = lower()
+        index = {p: i for i, p in enumerate(peers)}
+        counters.compiled_strategies += 1
+        graph = CompiledGraph(
+            kind="flooding",
+            peer_ids=np.asarray(peers, dtype=np.int64),
+            indptr=np.asarray(indptr, dtype=np.int64),
+            targets=np.asarray(targets, dtype=np.int64),
+            costs=np.asarray(costs, dtype=np.float64),
+            index=index,
+            directed=False,
+        )
+    else:
+        graph = _build_graph(
+            overlay,
+            ((p, sorted(overlay.neighbors(p))) for p in overlay.peers()),
+            kind="flooding",
+            directed=False,
+        )
     _FLOODING_CACHE[overlay] = (epoch, graph)
     return graph
 
@@ -271,12 +288,12 @@ def _ace_graph(overlay: Overlay, protocol: object) -> CompiledGraph:
     cached = _ACE_CACHE.get(protocol)
     if cached is not None and cached[0] == key:
         return cached[1]
-    # flooding_neighbors() builds its answer set the same way at compile
-    # time as at forward time, so iteration order matches the scalar path.
+    # Sorted rows: ace_strategy sorts flooding_neighbors() at forward time,
+    # so the compiled CSR rows must sort the same way.
     flooding_neighbors = protocol.flooding_neighbors  # type: ignore[attr-defined]
     graph = _build_graph(
         overlay,
-        ((p, flooding_neighbors(p)) for p in overlay.peers()),
+        ((p, sorted(flooding_neighbors(p))) for p in overlay.peers()),
         kind="ace",
         directed=True,
     )

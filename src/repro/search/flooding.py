@@ -148,7 +148,10 @@ def blind_flooding_strategy(overlay: Overlay) -> ForwardingStrategy:
     """The Gnutella baseline: forward to every neighbor except the sender."""
 
     def strategy(peer: int, came_from: Optional[int]) -> Iterable[int]:
-        return overlay.neighbors(peer)
+        # Canonical (sorted) forwarding order: traffic sums are float
+        # accumulations, so the iteration order must not depend on which
+        # overlay engine produced the neighbor set.
+        return sorted(overlay.neighbors(peer))
 
     # Declare the closure compilable: the batched engine can lower it to a
     # CSR forwarding graph memoized per overlay epoch (repro.search.batch).

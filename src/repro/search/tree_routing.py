@@ -33,7 +33,9 @@ def ace_strategy(protocol: AceProtocol) -> ForwardingStrategy:
     """Forwarding strategy that follows each relay's own overlay tree."""
 
     def strategy(peer: int, came_from: Optional[int]) -> Iterable[int]:
-        return protocol.flooding_neighbors(peer)
+        # Canonical (sorted) forwarding order — see blind_flooding_strategy;
+        # traffic sums must not depend on set iteration order.
+        return sorted(protocol.flooding_neighbors(peer))
 
     # Declare the closure compilable: the batched engine lowers every relay's
     # flooding set into a (directed) CSR graph memoized per

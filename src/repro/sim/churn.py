@@ -118,7 +118,9 @@ class ChurnModel:
         for peer in self.overlay.peers():
             record = self.records[peer]
             record.begin_session(now, self.lifetimes.sample(self.rng))
-            record.learn_addresses(self.overlay.neighbors(peer))
+            # Sorted: the address cache is ordered (most-recent-first), so
+            # the learn order must be canonical across overlay engines.
+            record.learn_addresses(sorted(self.overlay.neighbors(peer)))
 
     def next_departure(self) -> Optional[PeerRecord]:
         """The online peer with the earliest scheduled departure."""
@@ -138,7 +140,8 @@ class ChurnModel:
         neighbors' addresses for its next session.
         """
         record = self.records[peer]
-        record.learn_addresses(self.overlay.neighbors(peer))
+        # Sorted for the same canonical-order reason as the initial priming.
+        record.learn_addresses(sorted(self.overlay.neighbors(peer)))
         self.overlay.remove_peer(peer)
         record.end_session()
         self._offline.append(peer)

@@ -6,6 +6,8 @@ The paper's simulation methodology (Section 4.1) needs both layers:
   underlay with link delays and shortest-path queries.
 * :class:`~repro.topology.overlay.Overlay` — the Gnutella-like logical
   network whose link costs are underlay shortest-path delays.
+* :class:`~repro.topology.soa.ArrayOverlay` — struct-of-arrays overlay
+  engine (flat CSR + edit buffer) for 100k+-peer experiments.
 * :mod:`~repro.topology.generators` — Waxman / Barabási–Albert / GLP /
   Watts–Strogatz underlay generators.
 * :mod:`~repro.topology.properties` — power-law and small-world validation.
@@ -34,6 +36,7 @@ from .overlay import (
     small_world_overlay,
 )
 from .physical import PhysicalTopology
+from .soa import ArrayOverlay
 from .supernode import (
     TwoTierOverlay,
     TwoTierQueryResult,
@@ -51,6 +54,7 @@ from .trace import (
 __all__ = [
     "PhysicalTopology",
     "Overlay",
+    "ArrayOverlay",
     "random_overlay",
     "power_law_overlay",
     "small_world_overlay",

@@ -1,0 +1,841 @@
+"""Struct-of-arrays overlay engine for 100k+-peer experiments.
+
+:class:`ArrayOverlay` is a drop-in :class:`~repro.topology.overlay.Overlay`
+replacement that keeps the peer/edge state in flat numpy arrays instead of
+Python dict-of-set objects:
+
+* per-slot arrays — peer id, physical host, live logical degree — indexed by
+  a dense *slot* number (``_index`` maps peer id -> slot);
+* a CSR adjacency over slots (``_indptr`` / ``_nbr``) with a parallel
+  ``float64`` per-edge cost array (``NaN`` = cost not yet known, the array
+  form of the object engine's per-edge cost cache);
+* an **incremental edit buffer**: mutations never rewrite the CSR in place.
+  :meth:`disconnect` tombstones base entries (``_dead``), :meth:`connect`
+  buffers new edges in a small dict-of-dicts overlay (``_extra``), and once
+  the buffered edit count crosses a threshold the structure re-packs into a
+  fresh compact CSR (slots reassigned in sorted-peer order, rows sorted).
+  Compactions and buffer flushes are counted in
+  :data:`repro.perf.counters` (``soa_compactions`` /
+  ``soa_edit_buffer_flushes``).
+
+Semantics — epoch bumps, cost-cache layering (shared host-pair cache over a
+per-edge memo), counter accounting, and error behaviour — mirror the object
+engine exactly, so the two engines produce byte-identical experiment figures
+from the same seed (pinned in ``tests/experiments/test_reproducibility.py``).
+The payoff is bulk state:
+
+* :meth:`warm_edge_costs` is O(1) when the overlay is already warm (the
+  object engine re-scans every edge per call — the dominant cost of large
+  ACE steps), and a vectorized NaN scan otherwise;
+* :meth:`flooding_csr` lowers the adjacency straight into the compiled
+  query kernel's CSR form (:mod:`repro.search.batch`) without materializing
+  per-peer neighbor sets.
+
+:meth:`neighbors` returns a fresh *snapshot* set per call (the object engine
+returns its live internal set); all in-repo consumers either copy or re-fetch
+around mutations, so the two behaviours are indistinguishable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..oracle.base import DelayOracle
+from ..oracle.exact import ExactOracle
+from ..perf import counters
+from .overlay import Overlay
+from .physical import PhysicalTopology
+
+__all__ = ["ArrayOverlay"]
+
+
+class ArrayOverlay(Overlay):
+    """Flat-array overlay engine (see module docstring)."""
+
+    def __init__(
+        self,
+        physical: PhysicalTopology,
+        hosts: Optional[Dict[int, int]] = None,
+        oracle: Optional[DelayOracle] = None,
+        compact_threshold: Optional[int] = None,
+    ) -> None:
+        # Deliberately does NOT call Overlay.__init__: the dict structures
+        # (_hosts/_adjacency/_edge_costs) are never created, so any inherited
+        # method that was missed in the override sweep fails loudly instead
+        # of silently reading empty state.
+        self._physical = physical
+        if oracle is not None and oracle.physical is not physical:
+            raise ValueError("oracle answers for a different underlay")
+        self._oracle = oracle if oracle is not None else ExactOracle(physical)
+        self._cost_cache: Dict[Tuple[int, int], float] = {}
+        self._epoch = 0
+        self._compact_threshold = compact_threshold
+
+        self._index: Dict[int, int] = {}
+        self._slot_peer: np.ndarray = np.empty(0, dtype=np.int64)
+        self._slot_host: np.ndarray = np.empty(0, dtype=np.int64)
+        self._slot_degree: np.ndarray = np.empty(0, dtype=np.int64)
+        self._nslots = 0
+        self._free: List[int] = []
+
+        self._indptr: np.ndarray = np.zeros(1, dtype=np.int64)
+        self._nbr: np.ndarray = np.empty(0, dtype=np.int64)
+        self._ncost: np.ndarray = np.empty(0, dtype=np.float64)
+        self._dead: np.ndarray = np.zeros(0, dtype=bool)
+        self._nbase = 0
+
+        self._extra: Dict[int, Dict[int, float]] = {}
+        self._edits = 0
+        self._nedges = 0
+        self._missing = 0
+        self._peers_cache: Optional[List[int]] = None
+
+        if hosts:
+            for peer, host in hosts.items():
+                self.add_peer(peer, host)
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_overlay(
+        cls, source: Overlay, compact_threshold: Optional[int] = None
+    ) -> "ArrayOverlay":
+        """Convert any overlay into a compact array engine.
+
+        Known per-edge costs and the host-pair memo are snapshotted (into
+        *private* copies — unlike :meth:`copy`, the conversion decouples the
+        cache state so the two engines evolve independently); the epoch
+        carries over.
+        """
+        if isinstance(source, ArrayOverlay):
+            clone = source.copy()
+            clone._cost_cache = dict(source._cost_cache)
+            clone._compact_threshold = compact_threshold
+            return clone
+        out = cls(
+            source.physical, oracle=source.oracle,
+            compact_threshold=compact_threshold,
+        )
+        order = source.peers()
+        n = len(order)
+        index = {p: i for i, p in enumerate(order)}
+        host = np.empty(n, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        nbr: List[int] = []
+        cost: List[float] = []
+        # replint: disable=REP002 — engine conversion snapshots the sibling
+        # engine's memo wholesale; coherence is preserved because the costs
+        # transfer together with the epoch and host-pair cache below.
+        edge_costs = source._edge_costs
+        for i, p in enumerate(order):
+            host[i] = source.host_of(p)
+            row = sorted(source.neighbors(p))
+            for q in row:
+                nbr.append(index[q])
+                key = (p, q) if p < q else (q, p)
+                cost.append(edge_costs.get(key, math.nan))
+            indptr[i + 1] = indptr[i] + len(row)
+        out._install_base(order, index, host, indptr, nbr, cost)
+        out._cost_cache = dict(source._cost_cache)
+        out._epoch = source.epoch
+        return out
+
+    def _install_base(
+        self,
+        order: List[int],
+        index: Dict[int, int],
+        host: np.ndarray,
+        indptr: np.ndarray,
+        nbr: List[int],
+        cost: List[float],
+    ) -> None:
+        """Install a freshly packed base CSR (slots in sorted-peer order)."""
+        n = len(order)
+        nnz = int(indptr[n])
+        self._index = index
+        self._slot_peer = np.array(order, dtype=np.int64)
+        self._slot_host = host
+        self._slot_degree = np.diff(indptr).astype(np.int64)
+        self._nslots = n
+        self._free = []
+        self._indptr = indptr
+        self._nbr = (
+            np.array(nbr, dtype=np.int64) if nnz else np.empty(0, dtype=np.int64)
+        )
+        self._ncost = (
+            np.array(cost, dtype=np.float64)
+            if nnz
+            else np.empty(0, dtype=np.float64)
+        )
+        self._dead = np.zeros(nnz, dtype=bool)
+        self._nbase = n
+        self._extra = {}
+        self._edits = 0
+        self._nedges = nnz // 2
+        self._missing = (
+            int(np.count_nonzero(np.isnan(self._ncost))) // 2 if nnz else 0
+        )
+        self._peers_cache = order
+
+    def _compact(self) -> None:
+        """Re-pack the CSR: merge the edit buffer, drop tombstones.
+
+        Slots are reassigned in sorted-peer order and every row is sorted by
+        neighbor peer id — the canonical layout :meth:`flooding_csr` lowers
+        from.  Structure (and therefore the epoch) is unchanged.
+        """
+        counters.soa_compactions += 1
+        if self._edits or self._extra:
+            counters.soa_edit_buffer_flushes += 1
+        order = sorted(self._index)
+        n = len(order)
+        old_index = self._index
+        old_to_new = {old_index[p]: i for i, p in enumerate(order)}
+        host = np.empty(n, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        nbr: List[int] = []
+        cost: List[float] = []
+        for i, p in enumerate(order):
+            so = old_index[p]
+            host[i] = self._slot_host[so]
+            pairs: List[Tuple[int, float]] = []
+            if so < self._nbase:
+                s = int(self._indptr[so])
+                e = int(self._indptr[so + 1])
+                for j in range(s, e):
+                    if not self._dead[j]:
+                        pairs.append(
+                            (old_to_new[int(self._nbr[j])], float(self._ncost[j]))
+                        )
+            ex = self._extra.get(so)
+            if ex:
+                for sv, c in ex.items():
+                    pairs.append((old_to_new[sv], c))
+            pairs.sort()
+            nbr.extend(a for a, _ in pairs)
+            cost.extend(b for _, b in pairs)
+            indptr[i + 1] = indptr[i] + len(pairs)
+        self._install_base(
+            order, {p: i for i, p in enumerate(order)}, host, indptr, nbr, cost
+        )
+
+    def _maybe_compact(self) -> None:
+        limit = self._compact_threshold
+        if limit is None:
+            limit = max(64, self._nedges // 4)
+        if self._edits > limit:
+            self._compact()
+
+    # ------------------------------------------------------------------
+    # Slot helpers
+    # ------------------------------------------------------------------
+
+    def _new_slot(self, peer: int, host: int) -> int:
+        if self._free:
+            slot = self._free.pop()
+        else:
+            cap = len(self._slot_peer)
+            if self._nslots == cap:
+                grow = max(8, cap)
+                pad_i = np.full(grow, -1, dtype=np.int64)
+                self._slot_peer = np.concatenate([self._slot_peer, pad_i])
+                self._slot_host = np.concatenate([self._slot_host, pad_i])
+                self._slot_degree = np.concatenate(
+                    [self._slot_degree, np.zeros(grow, dtype=np.int64)]
+                )
+            slot = self._nslots
+            self._nslots += 1
+        self._slot_peer[slot] = peer
+        self._slot_host[slot] = host
+        self._slot_degree[slot] = 0
+        self._index[peer] = slot
+        return slot
+
+    def _base_find(self, su: int, sv: int) -> int:
+        """Index of the base CSR entry su -> sv, or -1 (rows sorted by slot)."""
+        if su >= self._nbase:
+            return -1
+        s = int(self._indptr[su])
+        e = int(self._indptr[su + 1])
+        i = s + int(np.searchsorted(self._nbr[s:e], sv))
+        if i < e and int(self._nbr[i]) == sv:
+            return i
+        return -1
+
+    def _edge_live(self, su: int, sv: int) -> bool:
+        ex = self._extra.get(su)
+        if ex is not None and sv in ex:
+            return True
+        i = self._base_find(su, sv)
+        return i >= 0 and not bool(self._dead[i])
+
+    def _fill_edge_cost(self, su: int, sv: int, d: float) -> None:
+        """Record the now-known cost of a live edge (both directions)."""
+        ex = self._extra.get(su)
+        if ex is not None and sv in ex:
+            ex[sv] = d
+            self._extra[sv][su] = d
+        else:
+            i = self._base_find(su, sv)
+            j = self._base_find(sv, su)
+            self._ncost[i] = d
+            self._ncost[j] = d
+        self._missing -= 1
+
+    # ------------------------------------------------------------------
+    # Peers
+    # ------------------------------------------------------------------
+
+    @property
+    def num_peers(self) -> int:
+        """Number of live peers."""
+        return len(self._index)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of logical connections."""
+        return self._nedges
+
+    def peers(self) -> List[int]:
+        """Sorted list of live peer ids."""
+        if self._peers_cache is None:
+            self._peers_cache = sorted(self._index)
+        return list(self._peers_cache)
+
+    def has_peer(self, peer: int) -> bool:
+        """Whether *peer* is currently in the overlay."""
+        return peer in self._index
+
+    def host_of(self, peer: int) -> int:
+        """Physical host a peer lives on."""
+        return int(self._slot_host[self._index[peer]])
+
+    def add_peer(self, peer: int, host: int) -> None:
+        """Add a (disconnected) peer residing on physical node *host*."""
+        if peer in self._index:
+            raise ValueError(f"peer {peer} already exists")
+        if not (0 <= host < self._physical.num_nodes):
+            raise ValueError(f"host {host} out of range")
+        self._new_slot(peer, host)
+        self._peers_cache = None
+        self._epoch += 1
+
+    def remove_peer(self, peer: int) -> None:
+        """Remove a peer and all its logical connections."""
+        slot = self._index[peer]
+        ex = self._extra.pop(slot, None)
+        if ex:
+            for sv, c in ex.items():
+                other = self._extra[sv]
+                del other[slot]
+                if not other:
+                    del self._extra[sv]
+                self._slot_degree[sv] -= 1
+                self._nedges -= 1
+                if math.isnan(c):
+                    self._missing -= 1
+        if slot < self._nbase:
+            s = int(self._indptr[slot])
+            e = int(self._indptr[slot + 1])
+            for j in range(s, e):
+                if self._dead[j]:
+                    continue
+                sv = int(self._nbr[j])
+                self._dead[j] = True
+                self._dead[self._base_find(sv, slot)] = True
+                self._slot_degree[sv] -= 1
+                self._nedges -= 1
+                if math.isnan(float(self._ncost[j])):
+                    self._missing -= 1
+                self._edits += 2
+        del self._index[peer]
+        self._slot_peer[slot] = -1
+        self._slot_host[slot] = -1
+        self._slot_degree[slot] = 0
+        self._free.append(slot)
+        self._peers_cache = None
+        self._epoch += 1
+        self._maybe_compact()
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def neighbors(self, peer: int) -> Set[int]:
+        """The peer's current logical neighbors (a fresh snapshot set)."""
+        slot = self._index[peer]
+        out: Set[int] = set()
+        if slot < self._nbase:
+            s = int(self._indptr[slot])
+            e = int(self._indptr[slot + 1])
+            if e > s:
+                seg = self._nbr[s:e]
+                alive = ~self._dead[s:e]
+                if alive.all():
+                    out.update(self._slot_peer[seg].tolist())
+                else:
+                    out.update(self._slot_peer[seg[alive]].tolist())
+        ex = self._extra.get(slot)
+        if ex:
+            sp = self._slot_peer
+            out.update(int(sp[sv]) for sv in ex)
+        return out
+
+    def degree(self, peer: int) -> int:
+        """Number of logical connections of *peer*."""
+        return int(self._slot_degree[self._index[peer]])
+
+    def average_degree(self) -> float:
+        """Mean logical degree over live peers."""
+        if not self._index:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_peers
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether a logical connection u-v exists."""
+        su = self._index.get(u)
+        sv = self._index.get(v)
+        if su is None or sv is None:
+            return False
+        return self._edge_live(su, sv)
+
+    def connect(self, u: int, v: int) -> bool:
+        """Establish the logical connection u-v (see object engine)."""
+        if u == v:
+            raise ValueError("a peer cannot connect to itself")
+        su = self._index.get(u)
+        sv = self._index.get(v)
+        if su is None or sv is None:
+            raise KeyError(f"unknown peer in connect({u}, {v})")
+        if self._edge_live(su, sv):
+            return False
+        hu = int(self._slot_host[su])
+        hv = int(self._slot_host[sv])
+        if hu == hv:
+            c = 0.0
+        else:
+            hkey = (hu, hv) if hu < hv else (hv, hu)
+            cached = self._cost_cache.get(hkey)
+            c = cached if cached is not None else math.nan
+        self._extra.setdefault(su, {})[sv] = c
+        self._extra.setdefault(sv, {})[su] = c
+        self._slot_degree[su] += 1
+        self._slot_degree[sv] += 1
+        self._nedges += 1
+        if math.isnan(c):
+            self._missing += 1
+        self._edits += 1
+        self._epoch += 1
+        self._maybe_compact()
+        return True
+
+    def disconnect(self, u: int, v: int) -> bool:
+        """Cut the logical connection u-v.  Returns ``True`` if it existed."""
+        su = self._index.get(u)
+        sv = self._index.get(v)
+        if su is None or sv is None:
+            raise KeyError(f"unknown peer in disconnect({u}, {v})")
+        ex = self._extra.get(su)
+        if ex is not None and sv in ex:
+            c = ex.pop(sv)
+            if not ex:
+                del self._extra[su]
+            other = self._extra[sv]
+            del other[su]
+            if not other:
+                del self._extra[sv]
+        else:
+            i = self._base_find(su, sv)
+            if i < 0 or self._dead[i]:
+                return False
+            c = float(self._ncost[i])
+            self._dead[i] = True
+            self._dead[self._base_find(sv, su)] = True
+            self._edits += 2
+        self._slot_degree[su] -= 1
+        self._slot_degree[sv] -= 1
+        self._nedges -= 1
+        if math.isnan(c):
+            self._missing -= 1
+        self._epoch += 1
+        self._maybe_compact()
+        return True
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over logical edges as ``(u, v)`` with ``u < v``."""
+        sp = self._slot_peer
+        if len(self._nbr):
+            live = np.nonzero(~self._dead)[0]
+            rows = np.searchsorted(self._indptr, live, side="right") - 1
+            for i, su in zip(live.tolist(), rows.tolist()):
+                u = int(sp[su])
+                v = int(sp[int(self._nbr[i])])
+                if u < v:
+                    yield (u, v)
+        for su in sorted(self._extra):
+            u = int(sp[su])
+            for sv in sorted(self._extra[su]):
+                v = int(sp[sv])
+                if u < v:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Costs
+    # ------------------------------------------------------------------
+
+    def use_oracle(self, oracle: DelayOracle) -> None:
+        """Swap the delay backend, dropping every cost memo."""
+        if oracle.physical is not self._physical:
+            raise ValueError("oracle answers for a different underlay")
+        self._oracle = oracle
+        self._cost_cache = {}
+        if len(self._ncost):
+            self._ncost[:] = math.nan
+        for ex in self._extra.values():
+            for sv in ex:
+                ex[sv] = math.nan
+        self._missing = self._nedges
+        self._epoch += 1
+
+    def cost(self, u: int, v: int) -> float:
+        """Cost of a (potential) logical link — object-engine semantics."""
+        su = self._index[u]
+        sv = self._index[v]
+        live = False
+        ex = self._extra.get(su)
+        if ex is not None and sv in ex:
+            live = True
+            c = ex[sv]
+            if not math.isnan(c):
+                counters.edge_cost_hits += 1
+                return c
+        else:
+            i = self._base_find(su, sv)
+            if i >= 0 and not bool(self._dead[i]):
+                live = True
+                c = float(self._ncost[i])
+                if not math.isnan(c):
+                    counters.edge_cost_hits += 1
+                    return c
+        hu = int(self._slot_host[su])
+        hv = int(self._slot_host[sv])
+        if hu == hv:
+            d = 0.0
+        else:
+            hkey = (hu, hv) if hu < hv else (hv, hu)
+            got = self._cost_cache.get(hkey)
+            if got is None:
+                got = self._oracle.delay(hu, hv)
+                self._cost_cache[hkey] = got
+            d = got
+        if live:
+            counters.edge_cost_misses += 1
+            self._fill_edge_cost(su, sv, d)
+        return d
+
+    def _live_neighbor_costs(self, slot: int) -> Dict[int, float]:
+        """peer id -> cached cost (NaN = unknown) for the slot's live edges."""
+        out: Dict[int, float] = {}
+        if slot < self._nbase:
+            s = int(self._indptr[slot])
+            e = int(self._indptr[slot + 1])
+            if e > s:
+                seg = self._nbr[s:e]
+                alive = ~self._dead[s:e]
+                if not alive.all():
+                    seg = seg[alive]
+                    costs = self._ncost[s:e][alive]
+                else:
+                    costs = self._ncost[s:e]
+                out.update(zip(self._slot_peer[seg].tolist(), costs.tolist()))
+        ex = self._extra.get(slot)
+        if ex:
+            sp = self._slot_peer
+            for sv, c in ex.items():
+                out[int(sp[sv])] = c
+        return out
+
+    def costs_from(self, u: int, targets: Iterable[int]) -> Dict[int, float]:
+        """Costs from *u* to several peers with at most one underlay query."""
+        su = self._index[u]
+        hu = int(self._slot_host[su])
+        nbr_costs = self._live_neighbor_costs(su)
+        out: Dict[int, float] = {}
+        missing: List[int] = []
+        for t in targets:
+            c = nbr_costs.get(t)
+            if c is not None and not math.isnan(c):
+                counters.edge_cost_hits += 1
+                out[t] = c
+                continue
+            st = self._index[t]
+            ht = int(self._slot_host[st])
+            if ht == hu:
+                out[t] = 0.0
+                if c is not None:
+                    self._fill_edge_cost(su, st, 0.0)
+                    nbr_costs[t] = 0.0
+                continue
+            hkey = (hu, ht) if hu < ht else (ht, hu)
+            cached = self._cost_cache.get(hkey)
+            if cached is None:
+                missing.append(t)
+            else:
+                out[t] = cached
+                if c is not None:
+                    self._fill_edge_cost(su, st, cached)
+                    nbr_costs[t] = cached
+        if missing:
+            vals: Optional[np.ndarray] = None
+            vec: Optional[np.ndarray] = None
+            if self._oracle.pairwise_cheap:
+                # Embedding backend: resolve only the pairs actually asked
+                # for; delay_pairs matches the vector entries bit for bit.
+                hosts = [
+                    int(self._slot_host[self._index[t]]) for t in missing
+                ]
+                vals = self._oracle.delay_pairs([hu] * len(missing), hosts)
+            else:
+                vec = self._oracle.delays_from(hu)
+            for k, t in enumerate(missing):
+                st = self._index[t]
+                ht = int(self._slot_host[st])
+                if vals is not None:
+                    d = float(vals[k])
+                else:
+                    assert vec is not None
+                    d = float(vec[ht])
+                hkey = (hu, ht) if hu < ht else (ht, hu)
+                self._cost_cache[hkey] = d
+                out[t] = d
+                c = nbr_costs.get(t)
+                if c is not None and math.isnan(c):
+                    counters.edge_cost_misses += 1
+                    self._fill_edge_cost(su, st, d)
+                    nbr_costs[t] = d
+        return out
+
+    def _iter_unknown_edges(self) -> Iterator[Tuple[int, int]]:
+        """Live edges (as slot pairs, lower peer id first) lacking a cost."""
+        if len(self._ncost):
+            unknown = np.nonzero(np.isnan(self._ncost) & ~self._dead)[0]
+            if len(unknown):
+                rows = np.searchsorted(self._indptr, unknown, side="right") - 1
+                sp = self._slot_peer
+                for i, su in zip(unknown.tolist(), rows.tolist()):
+                    sv = int(self._nbr[i])
+                    if int(sp[su]) < int(sp[sv]):
+                        yield su, sv
+        sp = self._slot_peer
+        for su in sorted(self._extra):
+            pu = int(sp[su])
+            for sv, c in self._extra[su].items():
+                if math.isnan(c) and pu < int(sp[sv]):
+                    yield su, sv
+
+    def warm_edge_costs(self, chunk_size: int = 256) -> int:
+        """Bulk-fill the per-edge costs — O(1) when already warm.
+
+        The object engine re-scans every edge per call; here a running
+        missing-cost counter short-circuits the warm case, and the cold case
+        finds the NaN entries with one vectorized scan.  The oracle call
+        pattern (grouping, direction, chunking) matches the object engine
+        exactly, so both engines compute bit-identical costs.
+        """
+        if self._missing == 0:
+            return 0
+        pending: Dict[int, List[Tuple[int, int, int, Tuple[int, int]]]] = {}
+        for su, sv in list(self._iter_unknown_edges()):
+            hu = int(self._slot_host[su])
+            hv = int(self._slot_host[sv])
+            if hu == hv:
+                self._fill_edge_cost(su, sv, 0.0)
+                continue
+            hkey = (hu, hv) if hu < hv else (hv, hu)
+            cached = self._cost_cache.get(hkey)
+            if cached is not None:
+                self._fill_edge_cost(su, sv, cached)
+                continue
+            pending.setdefault(hu, []).append((su, sv, hv, hkey))
+        if not pending:
+            return 0
+        filled = 0
+        sources = sorted(pending)
+        if self._oracle.pairwise_cheap:
+            # Embedding backend: ask for exactly the missing pairs in the
+            # same (source-sorted) order the chunked path fills them —
+            # delay_pairs is bit-identical to the vector entries, so the
+            # resulting costs match the object engine's exactly.
+            flat = [(h, e) for h in sources for e in pending[h]]
+            ds = self._oracle.delay_pairs(
+                [h for h, _ in flat], [e[2] for _, e in flat]
+            )
+            for (h, (su, sv, hv, hkey)), d0 in zip(flat, ds.tolist()):
+                d = float(d0)
+                self._cost_cache[hkey] = d
+                self._fill_edge_cost(su, sv, d)
+                counters.edge_cost_misses += 1
+                filled += 1
+            return filled
+        for start in range(0, len(sources), chunk_size):
+            chunk = sources[start : start + chunk_size]
+            rows = self._oracle.delays_from_many(chunk, cache=False)
+            for h in chunk:
+                row = rows[h]
+                for su, sv, hv, hkey in pending[h]:
+                    d = float(row[hv])
+                    self._cost_cache[hkey] = d
+                    self._fill_edge_cost(su, sv, d)
+                    counters.edge_cost_misses += 1
+                    filled += 1
+        return filled
+
+    def warm_sources(self, peers: Iterable[int]) -> int:
+        """Prefetch underlay delay vectors for the given peers' hosts.
+
+        A no-op for pairwise-cheap oracles: prefetching exists to batch
+        full single-source solves, and an embedding backend answers the
+        exact pairs later asked for directly — computing whole vectors
+        here would be strictly wasted arithmetic.
+        """
+        if self._oracle.pairwise_cheap:
+            return 0
+        hosts = {
+            int(self._slot_host[self._index[p]])
+            for p in peers
+            if p in self._index
+        }
+        return self._oracle.warm(hosts)
+
+    @property
+    def cached_edge_costs(self) -> int:
+        """Number of logical edges with a resident cached cost."""
+        return self._nedges - self._missing
+
+    def invalidate_edge_costs(self) -> None:
+        """Drop the whole per-edge cost cache (host-pair memos survive)."""
+        if len(self._ncost):
+            self._ncost[:] = math.nan
+        for ex in self._extra.values():
+            for sv in ex:
+                ex[sv] = math.nan
+        self._missing = self._nedges
+        self._epoch += 1
+
+    # ------------------------------------------------------------------
+    # Bulk views
+    # ------------------------------------------------------------------
+
+    def flooding_csr(
+        self,
+    ) -> Tuple[List[int], np.ndarray, np.ndarray, np.ndarray]:
+        """Lower the live adjacency to compiled-CSR inputs.
+
+        Returns ``(peer_ids, indptr, targets, costs)`` where ``targets`` are
+        row indices into ``peer_ids`` (sorted within each row) — exactly the
+        layout :class:`repro.search.batch.CompiledGraph` wants.  Warms the
+        edge costs first and compacts if the edit buffer is non-empty, so
+        the arrays can be handed over without per-edge Python iteration.
+        """
+        self.warm_edge_costs()
+        if self._extra or self._edits or self._free or self._nbase != len(
+            self._index
+        ):
+            self._compact()
+        # After compaction slot i holds the i-th smallest peer id, so the
+        # slot-valued CSR doubles as a row-index CSR and rows are sorted.
+        n = len(self._index)
+        return (
+            self.peers(),
+            self._indptr[: n + 1].copy(),
+            self._nbr.copy(),
+            self._ncost.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+
+    def component_of(self, peer: int) -> Set[int]:
+        """All peers reachable from *peer* over logical links."""
+        seen = {peer}
+        stack = [peer]
+        while stack:
+            cur = stack.pop()
+            for nxt in self.neighbors(cur):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def components(self) -> List[Set[int]]:
+        """All connected components, largest first."""
+        remaining = set(self._index)
+        out: List[Set[int]] = []
+        while remaining:
+            comp = self.component_of(next(iter(remaining)))
+            out.append(comp)
+            remaining -= comp
+        out.sort(key=len, reverse=True)
+        return out
+
+    def is_connected(self) -> bool:
+        """Whether all live peers form a single component."""
+        if not self._index:
+            return True
+        return len(self.component_of(next(iter(self._index)))) == self.num_peers
+
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "ArrayOverlay":
+        """Deep copy of the logical layer (shares the underlay and oracle)."""
+        clone = ArrayOverlay(
+            self._physical,
+            oracle=self._oracle,
+            compact_threshold=self._compact_threshold,
+        )
+        clone._index = dict(self._index)
+        clone._slot_peer = self._slot_peer.copy()
+        clone._slot_host = self._slot_host.copy()
+        clone._slot_degree = self._slot_degree.copy()
+        clone._nslots = self._nslots
+        clone._free = list(self._free)
+        clone._indptr = self._indptr.copy()
+        clone._nbr = self._nbr.copy()
+        clone._ncost = self._ncost.copy()
+        clone._dead = self._dead.copy()
+        clone._nbase = self._nbase
+        clone._extra = {s: dict(d) for s, d in self._extra.items()}
+        clone._edits = self._edits
+        clone._nedges = self._nedges
+        clone._missing = self._missing
+        clone._peers_cache = (
+            list(self._peers_cache) if self._peers_cache is not None else None
+        )
+        clone._cost_cache = self._cost_cache  # shared, append-only cache
+        clone._epoch = self._epoch  # compiled-graph caches key on identity
+        return clone
+
+    def to_networkx(self):  # type: ignore[no-untyped-def]
+        """Export the logical graph (``cost`` edge attribute included)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for p in self.peers():
+            g.add_node(p, host=self.host_of(p))
+        self.warm_edge_costs()  # one batched solve; the loop below only probes
+        for u, v in self.edges():
+            # replint: disable=REP004 — served from the just-warmed edge cache
+            g.add_edge(u, v, cost=self.cost(u, v))
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArrayOverlay(num_peers={self.num_peers}, "
+            f"num_edges={self.num_edges})"
+        )

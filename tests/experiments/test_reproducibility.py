@@ -120,6 +120,76 @@ class TestBatchedMatchesScalarEngine:
         assert as_bytes(batched) == as_bytes(scalar)
 
 
+class TestArrayEngineMatchesObject:
+    """The struct-of-arrays overlay engine is an optimization, not a model.
+
+    ``engine="array"`` lowers the generated overlay into flat CSR arrays
+    (:class:`repro.topology.soa.ArrayOverlay`) and pairs ACE with the flat
+    state store; every figure — static and dynamic, with and without ACE,
+    batched and scalar, serial and parallel — must come out byte-identical
+    to the object reference engine.
+    """
+
+    ARRAY = dataclasses.replace(CONFIG, engine="array")
+
+    def test_static_experiment_is_byte_identical(self):
+        obj = run_static_experiment(
+            build_scenario(CONFIG), steps=3, query_samples=8
+        )
+        arr = run_static_experiment(
+            build_scenario(self.ARRAY), steps=3, query_samples=8
+        )
+        assert as_bytes(obj) == as_bytes(arr)
+
+    def test_dynamic_experiment_is_byte_identical(self):
+        dyn = DynamicConfig(total_queries=120, window=40)
+        obj = run_dynamic_experiment(build_scenario(CONFIG), dyn)
+        arr = run_dynamic_experiment(build_scenario(self.ARRAY), dyn)
+        assert as_bytes(obj) == as_bytes(arr)
+
+    def test_landmark_oracle_static_is_byte_identical(self):
+        # The array engine fills costs through the oracle's pairwise
+        # interface while the object engine slices estimate vectors; the
+        # two forms are pinned bit-identical in tests/oracle, and this
+        # checks the figure-level consequence.
+        landmark = dataclasses.replace(CONFIG, oracle="landmark:8")
+        obj = run_static_experiment(
+            build_scenario(landmark), steps=3, query_samples=8
+        )
+        arr = run_static_experiment(
+            build_scenario(dataclasses.replace(landmark, engine="array")),
+            steps=3,
+            query_samples=8,
+        )
+        assert as_bytes(obj) == as_bytes(arr)
+
+    def test_dynamic_no_ace_is_byte_identical(self):
+        dyn = DynamicConfig(total_queries=120, window=40, enable_ace=False)
+        obj = run_dynamic_experiment(build_scenario(CONFIG), dyn)
+        arr = run_dynamic_experiment(build_scenario(self.ARRAY), dyn)
+        assert as_bytes(obj) == as_bytes(arr)
+
+    def test_array_engine_batched_is_byte_identical_to_scalar(self):
+        batched = run_static_experiment(
+            build_scenario(self.ARRAY), steps=3, query_samples=8
+        )
+        with scalar_queries():
+            scalar = run_static_experiment(
+                build_scenario(self.ARRAY), steps=3, query_samples=8
+            )
+        assert as_bytes(batched) == as_bytes(scalar)
+
+    def test_array_engine_parallel_is_byte_identical_to_serial(self):
+        configs = [self.ARRAY, dataclasses.replace(self.ARRAY, seed=6)]
+        serial = run_static_trials(
+            configs, steps=2, query_samples=6, max_workers=1
+        )
+        parallel = run_static_trials(
+            configs, steps=2, query_samples=6, max_workers=2
+        )
+        assert [as_bytes(s) for s in serial] == [as_bytes(p) for p in parallel]
+
+
 class TestOracleReproducibility:
     """The oracle seam must not move a byte — in either direction.
 

@@ -85,3 +85,20 @@ class TestOverlaySeamIsTransparent:
     def test_foreign_oracle_rejected(self, grid_physical, ba_physical):
         with pytest.raises(ValueError):
             Overlay(ba_physical, oracle=ExactOracle(grid_physical))
+
+
+class TestDelayPairsDefault:
+    """The base-class pairwise fallback: grouped delays_from slices."""
+
+    def test_exact_is_not_pairwise_cheap(self, ba_physical):
+        assert not ExactOracle(ba_physical).pairwise_cheap
+
+    def test_matches_vector_entries_exactly(self, rng, ba_physical):
+        oracle = ExactOracle(ba_physical)
+        hosts = ba_physical.largest_component_nodes()
+        idx = rng.integers(0, len(hosts), size=(30, 2))
+        us = [hosts[int(i)] for i, _ in idx]
+        vs = [hosts[int(j)] for _, j in idx]
+        got = oracle.delay_pairs(us, vs)
+        want = np.array([oracle.delays_from(u)[v] for u, v in zip(us, vs)])
+        assert np.array_equal(got, want)

@@ -296,3 +296,48 @@ class TestSharedMemoryTransport:
         ).export_shared()
         exported.unlink()
         exported.unlink()
+
+
+class TestDelayPairs:
+    """The pairwise interface must match the vector path bit for bit —
+    the struct-of-arrays engine mixes the two forms freely."""
+
+    def test_pairwise_cheap_advertised(self, rng, ba_physical):
+        assert LandmarkOracle(ba_physical, n_landmarks=4, rng=rng).pairwise_cheap
+
+    @pytest.mark.parametrize(
+        "estimator", ["midpoint", "lower", "upper", "euclidean"]
+    )
+    def test_matches_vector_entries_exactly(self, rng, ba_physical, estimator):
+        oracle = LandmarkOracle(
+            ba_physical, n_landmarks=8, rng=rng, estimator=estimator
+        )
+        pairs = sample_pairs(ba_physical, rng, 80)
+        # Mix in identity pairs and repeat counts from 1 upward: numpy's
+        # reduction order varies with array width, which is exactly the
+        # hazard the implementation guards against.
+        pairs.append((pairs[0][0], pairs[0][0]))
+        for size in (1, 2, len(pairs)):
+            us = [u for u, _ in pairs[:size]]
+            vs = [v for _, v in pairs[:size]]
+            got = oracle.delay_pairs(us, vs)
+            want = np.array([oracle.delays_from(u)[v] for u, v in zip(us, vs)])
+            assert np.array_equal(got, want)
+
+    def test_never_spends_fallback_budget(self, rng, ba_physical):
+        oracle = LandmarkOracle(
+            ba_physical, n_landmarks=2, rng=rng, exact_fallback_budget=100
+        )
+        pairs = sample_pairs(ba_physical, rng, 40)
+        reset_counters()
+        oracle.delay_pairs([u for u, _ in pairs], [v for _, v in pairs])
+        assert counters.oracle_exact_fallbacks == 0
+        assert counters.oracle_estimates == len(pairs)
+
+    def test_rejects_misaligned_and_out_of_range(self, rng, ba_physical):
+        oracle = LandmarkOracle(ba_physical, n_landmarks=2, rng=rng)
+        with pytest.raises(ValueError, match="equal length"):
+            oracle.delay_pairs([0, 1], [2])
+        with pytest.raises(ValueError, match="out of range"):
+            oracle.delay_pairs([0], [ba_physical.num_nodes])
+        assert len(oracle.delay_pairs([], [])) == 0

@@ -1,0 +1,24 @@
+"""REP008 fixture: per-peer Python scans in a hot package. All bad."""
+
+
+def total_degree(overlay):
+    total = 0
+    for p in overlay.peers():
+        total += len(overlay.neighbors(p))
+    return total
+
+
+def worst_edge(overlay):
+    worst = 0.0
+    for p in overlay.peers():
+        for q in overlay.neighbors(p):
+            worst = max(worst, overlay.cost(p, q))
+    return worst
+
+
+def count_optimized(protocol):
+    n = 0
+    for p in protocol.overlay.peers():
+        if protocol.state_of(p) is not None:
+            n += 1
+    return n

@@ -1,0 +1,40 @@
+"""REP008 fixture: bulk APIs and exempt shapes. All clean."""
+
+
+def total_degree(overlay):
+    # No per-peer accessor in the body: summing a precomputed row is fine.
+    degrees = overlay.degree_array()
+    total = 0
+    for d in degrees:
+        total += d
+    return total
+
+
+def warm_everything(overlay):
+    # The sanctioned bulk path: one batched underlay solve, no scan.
+    return overlay.warm_edge_costs()
+
+
+def loop_over_plain_list(overlay, peers):
+    # Iterating a materialized list is not a .peers() scan; follow-up
+    # accessors on a cold path like this are REP004's concern, not ours.
+    out = {}
+    for p in peers:
+        out[p] = sorted(overlay.neighbors(p))
+    return out
+
+
+def peers_loop_without_accessors(overlay, catalog):
+    # Looping .peers() is fine when the body never faults per-peer engine
+    # state.
+    hits = 0
+    for p in overlay.peers():
+        if catalog.holds(p):
+            hits += 1
+    return hits
+
+
+def justified_scan(overlay):
+    # replint: disable=REP008 — one-time export on a cold path
+    for p in overlay.peers():
+        yield p, sorted(overlay.neighbors(p))

@@ -222,6 +222,36 @@ class TestBatchedQueries:
         assert check_file(below, [rules_by_code()["REP007"]]) == []
 
 
+class TestSoaHygiene:
+    def test_bad_fixture_catches_per_peer_scans(self):
+        violations = run_rule("REP008", "src/repro/core/rep008_bad.py")
+        assert all(v.code == "REP008" for v in violations)
+        # a neighbors() scan, a nested neighbors()+cost() scan, and a
+        # state_of() scan — one finding per offending for-statement.
+        assert lines(violations) == [6, 13, 21]
+
+    def test_message_names_the_accessors_and_the_bulk_apis(self):
+        violations = run_rule("REP008", "src/repro/core/rep008_bad.py")
+        nested = [v for v in violations if v.line == 13]
+        assert ".cost()" in nested[0].message
+        assert ".neighbors()" in nested[0].message
+        assert "flooding_csr" in nested[0].message
+
+    def test_good_fixture_is_clean(self):
+        # Bulk APIs, loops over plain lists, accessor-free peers() loops,
+        # and a justified suppression are all sanctioned.
+        assert run_rule("REP008", "src/repro/core/rep008_good.py") == []
+
+    def test_rule_scoped_to_engine_hot_packages(self, tmp_path):
+        # Experiments/sim/tooling may scan peers; only repro.core and
+        # repro.topology are interpreter-bound hot paths.
+        source = (FIXTURES / "src/repro/core/rep008_bad.py").read_text()
+        below = tmp_path / "src" / "repro" / "experiments" / "helper.py"
+        below.parent.mkdir(parents=True)
+        below.write_text(source)
+        assert check_file(below, [rules_by_code()["REP008"]]) == []
+
+
 class TestSuppressions:
     def test_fully_suppressed_fixture_is_clean(self):
         assert check_file(FIXTURES / "suppressed.py", default_rules()) == []

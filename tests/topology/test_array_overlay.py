@@ -1,0 +1,304 @@
+"""Equivalence suite: ArrayOverlay must behave exactly like Overlay.
+
+Every test drives the struct-of-arrays engine and the dict-of-sets reference
+implementation through the same operation sequence and asserts identical
+observable state — adjacency, costs, epochs, counters-relevant cache
+behaviour — including across edit-buffer compaction boundaries forced by a
+tiny ``compact_threshold``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perf import counters
+from repro.topology.generators import barabasi_albert, grid
+from repro.topology.overlay import Overlay, random_overlay
+from repro.topology.soa import ArrayOverlay
+
+
+def assert_equivalent(obj: Overlay, arr: ArrayOverlay) -> None:
+    """Full observable-state comparison between the two engines."""
+    assert arr.num_peers == obj.num_peers
+    assert arr.num_edges == obj.num_edges
+    assert arr.peers() == obj.peers()
+    assert arr.epoch == obj.epoch
+    assert arr.average_degree() == pytest.approx(obj.average_degree())
+    for p in obj.peers():
+        assert arr.has_peer(p)
+        assert arr.host_of(p) == obj.host_of(p)
+        assert arr.neighbors(p) == obj.neighbors(p)
+        assert arr.degree(p) == obj.degree(p)
+    assert sorted(arr.edges()) == sorted(obj.edges())
+    assert arr.is_connected() == obj.is_connected()
+    assert sorted(map(sorted, arr.components())) == sorted(
+        map(sorted, obj.components())
+    )
+
+
+@pytest.fixture
+def physical():
+    return barabasi_albert(150, m=2, rng=np.random.default_rng(42))
+
+
+@pytest.fixture
+def pair(physical):
+    """An object overlay and its array conversion (aggressive compaction)."""
+    obj = random_overlay(physical, 36, avg_degree=5, rng=np.random.default_rng(9))
+    arr = ArrayOverlay.from_overlay(obj, compact_threshold=3)
+    return obj, arr
+
+
+class TestConversion:
+    def test_from_overlay_matches(self, pair):
+        obj, arr = pair
+        assert_equivalent(obj, arr)
+
+    def test_from_overlay_carries_known_costs(self, physical):
+        obj = random_overlay(
+            physical, 20, avg_degree=4, rng=np.random.default_rng(3)
+        )
+        obj.warm_edge_costs()
+        arr = ArrayOverlay.from_overlay(obj)
+        assert arr.cached_edge_costs == obj.cached_edge_costs == obj.num_edges
+        for u, v in obj.edges():
+            assert arr.cost(u, v) == obj.cost(u, v)
+
+    def test_from_array_roundtrip(self, pair):
+        _, arr = pair
+        again = ArrayOverlay.from_overlay(arr)
+        assert_equivalent(arr, again)
+
+    def test_empty_overlay(self, physical):
+        arr = ArrayOverlay.from_overlay(Overlay(physical))
+        assert arr.num_peers == 0
+        assert arr.num_edges == 0
+        assert arr.peers() == []
+        assert arr.average_degree() == 0.0
+        assert arr.is_connected()
+
+
+class TestMutationEquivalence:
+    def test_churn_sequence_across_compactions(self, physical, pair):
+        obj, arr = pair
+        rng = np.random.default_rng(77)
+        next_peer = max(obj.peers()) + 1
+        before = counters.soa_compactions
+        for _ in range(300):
+            op = int(rng.integers(5))
+            peers = obj.peers()
+            if op == 0 and len(peers) > 6:
+                victim = peers[int(rng.integers(len(peers)))]
+                obj.remove_peer(victim)
+                arr.remove_peer(victim)
+            elif op == 1:
+                host = int(rng.integers(physical.num_nodes))
+                obj.add_peer(next_peer, host)
+                arr.add_peer(next_peer, host)
+                next_peer += 1
+            elif op == 2 and len(peers) > 2:
+                i, j = rng.choice(len(peers), 2, replace=False)
+                u, v = peers[int(i)], peers[int(j)]
+                assert obj.connect(u, v) == arr.connect(u, v)
+            elif op == 3 and obj.num_edges:
+                edges = sorted(obj.edges())
+                u, v = edges[int(rng.integers(len(edges)))]
+                assert obj.disconnect(u, v) == arr.disconnect(u, v)
+            else:
+                if len(peers) >= 2:
+                    u, v = peers[0], peers[-1]
+                    assert obj.has_edge(u, v) == arr.has_edge(u, v)
+            assert obj.epoch == arr.epoch
+        assert counters.soa_compactions > before, "threshold never crossed"
+        assert_equivalent(obj, arr)
+
+    def test_reconnect_after_tombstone(self, pair):
+        obj, arr = pair
+        u, v = sorted(obj.edges())[0]
+        for engine in (obj, arr):
+            assert engine.disconnect(u, v)
+            assert engine.connect(u, v)
+            assert not engine.connect(u, v)
+        assert_equivalent(obj, arr)
+
+    def test_connect_errors_match(self, pair):
+        obj, arr = pair
+        p = obj.peers()[0]
+        for engine in (obj, arr):
+            with pytest.raises(ValueError):
+                engine.connect(p, p)
+            with pytest.raises(KeyError):
+                engine.connect(p, 10**9)
+            with pytest.raises(KeyError):
+                engine.disconnect(p, 10**9)
+            with pytest.raises(KeyError):
+                engine.neighbors(10**9)
+            with pytest.raises(ValueError):
+                engine.add_peer(p, 0)
+            with pytest.raises(ValueError):
+                engine.add_peer(10**9, 10**9)
+
+    def test_slot_reuse_after_removal(self, physical):
+        arr = ArrayOverlay(physical)
+        for p in range(6):
+            arr.add_peer(p, p)
+        arr.connect(0, 1)
+        arr.connect(1, 2)
+        arr.remove_peer(1)
+        # New peer reuses the freed slot; stale tombstones must not leak.
+        arr.add_peer(99, 7)
+        assert arr.neighbors(0) == set()
+        assert arr.neighbors(99) == set()
+        arr.connect(0, 99)
+        assert arr.neighbors(0) == {99}
+        assert arr.degree(99) == 1
+
+
+class TestCostEquivalence:
+    def test_warm_and_cost_values(self, pair):
+        obj, arr = pair
+        assert arr.warm_edge_costs() == obj.warm_edge_costs()
+        for u, v in obj.edges():
+            assert arr.cost(u, v) == obj.cost(u, v)
+        assert arr.cached_edge_costs == obj.cached_edge_costs
+
+    def test_warm_is_noop_when_warm(self, pair):
+        obj, arr = pair
+        arr.warm_edge_costs()
+        runs_before = counters.dijkstra_runs
+        assert arr.warm_edge_costs() == 0
+        assert counters.dijkstra_runs == runs_before
+
+    def test_costs_from_mixed_targets(self, pair):
+        obj, arr = pair
+        peers = obj.peers()
+        for source in peers[:8]:
+            targets = peers[::4] + sorted(obj.neighbors(source))
+            assert arr.costs_from(source, targets) == obj.costs_from(
+                source, targets
+            )
+
+    def test_cost_of_non_edge_and_self(self, pair):
+        obj, arr = pair
+        peers = obj.peers()
+        u = peers[0]
+        assert arr.cost(u, u) == obj.cost(u, u) == 0.0
+        non_neighbor = next(
+            p for p in peers if p != u and p not in obj.neighbors(u)
+        )
+        assert arr.cost(u, non_neighbor) == obj.cost(u, non_neighbor)
+
+    def test_connect_seeds_cost_from_host_cache(self, pair):
+        obj, arr = pair
+        obj.warm_edge_costs()
+        arr.warm_edge_costs()
+        peers = obj.peers()
+        u = peers[0]
+        candidates = [p for p in peers[1:] if not obj.has_edge(u, p)]
+        v = candidates[0]
+        obj.costs_from(u, [v])  # populate the host-pair cache in both
+        arr.costs_from(u, [v])
+        obj.connect(u, v)
+        arr.connect(u, v)
+        hits_before = counters.edge_cost_hits
+        d_obj = obj.cost(u, v)
+        d_arr = arr.cost(u, v)
+        assert d_obj == d_arr
+        assert counters.edge_cost_hits == hits_before + 2
+
+    def test_invalidate_edge_costs(self, pair):
+        obj, arr = pair
+        obj.warm_edge_costs()
+        arr.warm_edge_costs()
+        obj.invalidate_edge_costs()
+        arr.invalidate_edge_costs()
+        assert arr.cached_edge_costs == obj.cached_edge_costs == 0
+        assert arr.epoch == obj.epoch
+        assert arr.warm_edge_costs() == obj.warm_edge_costs()
+
+    def test_same_host_edges_cost_zero(self, physical):
+        arr = ArrayOverlay(physical)
+        arr.add_peer(1, 5)
+        arr.add_peer(2, 5)
+        arr.connect(1, 2)
+        assert arr.cost(1, 2) == 0.0
+        assert arr.cached_edge_costs == 1
+
+
+class TestCopySemantics:
+    def test_copy_isolated_structure(self, pair):
+        _, arr = pair
+        clone = arr.copy()
+        victim = arr.peers()[0]
+        clone.remove_peer(victim)
+        assert arr.has_peer(victim)
+        assert clone.num_peers == arr.num_peers - 1
+
+    def test_copy_shares_host_cache_but_not_edge_costs(self, pair):
+        _, arr = pair
+        clone = arr.copy()
+        clone.warm_edge_costs()
+        # The host-pair cache is shared (object-engine contract), so the
+        # original can fill its per-edge costs without new underlay solves.
+        runs_before = counters.dijkstra_runs
+        arr.warm_edge_costs()
+        assert counters.dijkstra_runs == runs_before
+
+    def test_copy_preserves_epoch(self, pair):
+        _, arr = pair
+        assert arr.copy().epoch == arr.epoch
+
+
+class TestFloodingCsr:
+    def test_rows_sorted_and_complete(self, pair):
+        obj, arr = pair
+        peers, indptr, targets, costs = arr.flooding_csr()
+        assert peers == obj.peers()
+        assert not np.isnan(costs).any()
+        for i, p in enumerate(peers):
+            row = [peers[t] for t in targets[indptr[i] : indptr[i + 1]]]
+            assert row == sorted(obj.neighbors(p))
+
+    def test_csr_after_churn(self, pair):
+        obj, arr = pair
+        u, v = sorted(obj.edges())[0]
+        obj.disconnect(u, v)
+        arr.disconnect(u, v)
+        peers, indptr, targets, _ = arr.flooding_csr()
+        i = peers.index(u)
+        row = [peers[t] for t in targets[indptr[i] : indptr[i + 1]]]
+        assert row == sorted(obj.neighbors(u))
+
+    def test_costs_match_object_engine(self, pair):
+        obj, arr = pair
+        obj.warm_edge_costs()
+        peers, indptr, targets, costs = arr.flooding_csr()
+        for i, p in enumerate(peers):
+            for k in range(int(indptr[i]), int(indptr[i + 1])):
+                q = peers[int(targets[k])]
+                assert costs[k] == obj.cost(p, q)
+
+
+class TestUseOracle:
+    def test_use_oracle_resets_costs(self, pair):
+        from repro.oracle.exact import ExactOracle
+
+        obj, arr = pair
+        obj.warm_edge_costs()
+        arr.warm_edge_costs()
+        obj.use_oracle(ExactOracle(obj.physical))
+        arr.use_oracle(ExactOracle(arr.physical))
+        assert arr.cached_edge_costs == obj.cached_edge_costs == 0
+        assert arr.epoch == obj.epoch
+        assert arr.warm_edge_costs() == obj.warm_edge_costs()
+        for u, v in obj.edges():
+            assert arr.cost(u, v) == obj.cost(u, v)
+
+    def test_use_oracle_wrong_underlay_raises(self, pair):
+        from repro.oracle.exact import ExactOracle
+
+        _, arr = pair
+        other = grid(3, 3, delay=1.0)
+        with pytest.raises(ValueError):
+            arr.use_oracle(ExactOracle(other))

@@ -13,6 +13,8 @@ REP006    oracle-seam             core/search query delays through a DelayOracle
                                   never PhysicalTopology.delay/delays_from* directly
 REP007    batched-queries         experiments batch query propagation through
                                   repro.search.batch, never loop the scalar engine
+REP008    soa-hygiene             engine hot paths never scan peers one Python
+                                  object at a time; bulk/array APIs instead
 ========  ======================  =====================================================
 
 ``REP000`` is reserved for parse errors (emitted by the engine, not a rule).
@@ -31,6 +33,7 @@ from .layering import LayeringRule
 from .no_topology_pickling import NoTopologyPicklingRule
 from .oracle_seam import OracleSeamRule
 from .perf_hygiene import PerfHygieneRule
+from .soa_hygiene import SoaHygieneRule
 
 __all__ = [
     "DeterminismRule",
@@ -40,6 +43,7 @@ __all__ = [
     "NoTopologyPicklingRule",
     "OracleSeamRule",
     "BatchedQueriesRule",
+    "SoaHygieneRule",
     "default_rules",
     "rules_by_code",
 ]
@@ -55,6 +59,7 @@ def default_rules() -> List[Rule]:
         NoTopologyPicklingRule(),
         OracleSeamRule(),
         BatchedQueriesRule(),
+        SoaHygieneRule(),
     ]
 
 

@@ -1,0 +1,91 @@
+"""REP008 — no per-peer Python scan loops in engine hot paths.
+
+The struct-of-arrays overlay engine (PR 6) exists so that whole-overlay
+state — adjacency, per-edge costs, ACE membership sets — moves through
+numpy arrays instead of per-peer Python iteration.  A loop of the shape
+
+.. code-block:: python
+
+    for p in overlay.peers():
+        ... overlay.neighbors(p) ...      # or .cost(...) / .state_of(...)
+
+re-materializes one Python object per peer per iteration and is exactly the
+O(peers) interpreter-bound scan that capped experiments at a few thousand
+peers.  Inside ``repro.core`` and ``repro.topology`` — the engine hot paths
+— such scans must either use the bulk APIs (``warm_edge_costs()``,
+``costs_from()``, ``flooding_csr()``, the flat ACE store) or carry a line
+suppression explaining why a per-peer walk is genuinely required (one-time
+conversions, cold paths).
+
+The rule flags ``for``/``async for`` statements that iterate directly over
+a ``.peers()`` call and invoke ``.neighbors()`` / ``.cost()`` /
+``.state_of()`` anywhere in the loop body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Rule, Violation
+
+_PER_PEER_CALLS = {"neighbors", "cost", "state_of"}
+
+_HOT_PACKAGES = ("repro.core", "repro.topology")
+
+
+def _body_calls(node: ast.AST) -> Iterator[str]:
+    """Names of flagged per-peer accessor calls anywhere under *node*."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) and isinstance(
+            child.func, ast.Attribute
+        ):
+            if child.func.attr in _PER_PEER_CALLS:
+                yield child.func.attr
+
+
+class SoaHygieneRule(Rule):
+    """Flag per-peer accessor scans over ``.peers()`` in hot packages."""
+
+    code = "REP008"
+    name = "soa-hygiene"
+    description = (
+        "per-peer Python loops over overlay.peers() calling .neighbors()/"
+        ".cost()/.state_of() scan the engine one object at a time; use the "
+        "bulk array APIs (warm_edge_costs/costs_from/flooding_csr/flat "
+        "state store)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module is None:
+            return False
+        return any(
+            ctx.module == pkg or ctx.module.startswith(pkg + ".")
+            for pkg in _HOT_PACKAGES
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            it = node.iter
+            if not (
+                isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Attribute)
+                and it.func.attr == "peers"
+            ):
+                continue
+            accessors = sorted(
+                {name for part in node.body for name in _body_calls(part)}
+            )
+            if not accessors:
+                continue
+            calls = ", ".join(f".{name}()" for name in accessors)
+            yield ctx.violation(
+                node,
+                self.code,
+                f"per-peer loop over .peers() calls {calls} each iteration; "
+                "hot paths must use the bulk/array APIs "
+                "(warm_edge_costs/costs_from/flooding_csr/FlatAceStore) or "
+                "justify the scan with a suppression",
+            )
