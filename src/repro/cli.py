@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the batched propagation kernel and run "
                             "every query through the scalar reference engine "
                             "(slower; results are identical)")
+        p.add_argument("--sanitize", action="store_true",
+                       help="enable the runtime invariant sanitizer (epoch "
+                            "monotonicity, cache coherence, shm leak and RNG "
+                            "stream accounting); figures are byte-identical "
+                            "and any violation fails the run")
 
     p_static = sub.add_parser("static", help="Figures 7-8 (static convergence)")
     add_world_args(p_static)
@@ -316,6 +321,15 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
     counters.reset()
+    if getattr(args, "sanitize", False):
+        import os
+
+        # Worker processes re-read the knob from the environment, so the
+        # sanitizer reaches spawned trial workers too.
+        os.environ["REPRO_SANITIZE"] = "1"
+    from .sanitize import maybe_install, report, violation_count
+
+    maybe_install()
     if getattr(args, "scalar_queries", False):
         import os
 
@@ -328,6 +342,11 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     code = _COMMANDS[args.command](args, out)
     if getattr(args, "perf", False):
         print(counters.format(), file=out)
+    if violation_count():
+        # Violations go to stderr so the metrics stream on *out* stays
+        # byte-identical to an unsanitized run.
+        report(sys.stderr)
+        return code or 3
     return code
 
 

@@ -72,6 +72,9 @@ PerfSnapshot = Dict[str, Union[int, float]]
 
 def _run_task(item: Tuple[Callable[[Any], Any], Any]) -> Tuple[Any, PerfSnapshot]:
     """Worker entry point: run one trial and measure its counter delta."""
+    from repro.sanitize import maybe_install
+
+    maybe_install()  # spawned workers re-read REPRO_SANITIZE; no-op otherwise
     task, payload = item
     before = counters.copy()
     result = task(payload)

@@ -4,7 +4,7 @@ import random
 
 
 def silenced():
-    return random.random()  # replint: disable=REP001
+    return random.random()  # replint: disable=REP001 — demo of a justified pragma
 
 
 def still_fires():
@@ -12,4 +12,4 @@ def still_fires():
 
 
 def wrong_code_does_not_help():
-    return random.random()  # replint: disable=REP004
+    return random.random()  # replint: disable=REP004 — wrong code on purpose

@@ -1,0 +1,31 @@
+"""REP012 fixture: order-dependent reductions over unordered collections."""
+
+import numpy as np
+
+
+def probe_cost(overlay, source, target, costs):
+    pool = overlay.neighbors(target)  # set-valued accessor
+    return sum(costs[h] for h in pool)  # line 8: float sum in set order
+
+
+def literal_set(costs):
+    pending = {3, 1, 2}
+    return sum(costs[p] for p in pending)  # line 13
+
+
+def keyed_min(overlay, source, costs):
+    mutual = overlay.neighbors(source) & overlay.flooding_neighbors(source)
+    return min(mutual, key=lambda n: costs[n])  # line 18: set-order ties
+
+
+def keyed_sort(overlay, peer, costs):
+    return sorted(overlay.neighbors(peer), key=lambda n: costs[n])  # line 22
+
+
+def array_from_set(overlay, peer):
+    return np.array(list(overlay.neighbors(peer)))  # line 26: set order
+
+
+def direct_np_sum(overlay, peer, weights):
+    reached = set(weights) & overlay.neighbors(peer)
+    return np.sum(np.array(list(reached)))  # line 31

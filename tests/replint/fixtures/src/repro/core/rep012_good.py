@@ -1,0 +1,34 @@
+"""REP012 fixture: canonical-order reductions (and harmless patterns)."""
+
+import numpy as np
+
+
+def probe_cost(overlay, source, target, costs):
+    pool = sorted(overlay.neighbors(target))  # canonical order first
+    return sum(costs[h] for h in pool)
+
+
+def keyed_min_with_tiebreak(overlay, source, costs):
+    mutual = overlay.neighbors(source) & overlay.flooding_neighbors(source)
+    # sorted() without a key imposes a total order: fine.
+    return min(sorted(mutual), key=lambda n: costs[n])
+
+
+def unkeyed_min(overlay, source, costs):
+    # min() without key= over floats is order-independent.
+    return min(costs[h] for h in overlay.neighbors(source))
+
+
+def list_sum(values):
+    # Lists have a defined order; nothing to canonicalize.
+    return sum(values)
+
+
+def int_membership_sum(overlay, peer):
+    # Counting (int arithmetic) is associative; still fine to sort, but a
+    # len() never depends on iteration order.
+    return len(overlay.neighbors(peer))
+
+
+def array_from_sorted(overlay, peer):
+    return np.array(sorted(overlay.neighbors(peer)))

@@ -1,0 +1,38 @@
+"""REP009 fixture: every seed-stream consumption hazard, one per function."""
+
+from numpy.random import SeedSequence, default_rng
+
+
+def out_of_range(seed):
+    root = SeedSequence(seed)
+    children = root.spawn(4)
+    return default_rng(children[4])  # line 9: index 4 out of spawn(4)
+
+
+def out_of_range_inline(seed):
+    return default_rng(SeedSequence(seed).spawn(3)[5])  # line 13
+
+
+def re_spawn(seed):
+    root = SeedSequence(seed)
+    first = root.spawn(2)
+    second = root.spawn(2)  # line 19: stateful second spawn
+    return first, second
+
+
+def out_of_order(seed):
+    children = SeedSequence(seed).spawn(4)
+    oracle_rng = default_rng(children[3])
+    underlay_rng = default_rng(children[0])  # line 26: 0 consumed after 3
+    return underlay_rng, oracle_rng
+
+
+def double_use(seed):
+    children = SeedSequence(seed).spawn(4)
+    a = default_rng(children[1])
+    b = default_rng(children[1])  # line 33: child 1 consumed twice
+    return a, b
+
+
+def cross_function(shared_sequence):
+    return shared_sequence.spawn(2)  # line 38: spawn on a parameter

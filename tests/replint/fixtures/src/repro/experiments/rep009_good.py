@@ -1,0 +1,32 @@
+"""REP009 fixture: the blessed seed-stream idioms from repro.experiments."""
+
+from numpy.random import SeedSequence, default_rng
+
+
+def in_order(seed):
+    children = SeedSequence(seed).spawn(4)
+    underlay_rng = default_rng(children[0])
+    query_rng = default_rng(children[1])
+    churn_rng = default_rng(children[3])  # gaps are fine; reordering is not
+    return underlay_rng, query_rng, churn_rng
+
+
+def single_inline(seed):
+    # spawn(5)[:4] == spawn(4): widening the spawn keeps old children pinned.
+    return default_rng(SeedSequence(seed).spawn(5)[4])
+
+
+def whole_list(seed):
+    children = SeedSequence(seed).spawn(3)
+    return [default_rng(child) for child in children]
+
+
+def pass_children_down(seed):
+    children = SeedSequence(seed).spawn(2)
+    return consume(children)
+
+
+def consume(children):
+    # Receiving already-spawned children (not the SeedSequence) is the
+    # blessed way to split allocation from use.
+    return [default_rng(child) for child in children]

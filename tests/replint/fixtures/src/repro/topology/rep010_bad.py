@@ -1,0 +1,34 @@
+"""REP010 fixture: leaking owners and unlinking attachers."""
+
+from multiprocessing import shared_memory
+
+from repro.topology.shm import attach_array, export_arrays
+
+
+def never_unlinked(arrays):
+    segments, specs = export_arrays(arrays)  # line 9: owner never unlinked
+    return list(specs)
+
+
+def early_return_leak(arrays, dry_run):
+    segments, specs = export_arrays(arrays)  # line 17: owner may leak
+    if dry_run:
+        return None  # leaks every segment
+    for seg in segments:
+        seg.unlink()
+    return specs
+
+
+def dropped_handle(size):
+    shared_memory.SharedMemory(create=True, size=size)  # line 26: dropped
+
+
+def attacher_unlinks(spec):
+    seg, view = attach_array(spec)
+    total = float(view.sum())
+    seg.unlink()  # line 32: attachers must never unlink
+    return total
+
+
+def publish(specs):
+    return list(specs)

@@ -1,0 +1,48 @@
+"""REP010 fixture: the blessed shared-memory lifecycles."""
+
+from multiprocessing import shared_memory
+
+from repro.topology.shm import SharedSegments, attach_array, export_arrays
+
+
+def finally_unlinks(arrays):
+    segments, specs = export_arrays(arrays)
+    try:
+        publish(specs)
+        return specs
+    finally:
+        for seg in segments:
+            seg.unlink()
+
+
+def context_manager(arrays, specs):
+    with SharedSegments(specs, []):
+        return publish(specs)
+
+
+def transfer_by_return(size):
+    # Returning the handle transfers ownership to the caller.
+    return shared_memory.SharedMemory(create=True, size=size)
+
+
+def transfer_to_registry(registry, key, size):
+    registry[key] = shared_memory.SharedMemory(create=True, size=size)
+
+
+def attacher_closes(spec):
+    seg, view = attach_array(spec)
+    total = float(view.sum())
+    seg.close()  # close only: the exporter owns the segment
+    return total
+
+
+def owner_from_helper(size):
+    seg = transfer_by_return(size)
+    try:
+        return seg.name
+    finally:
+        seg.unlink()
+
+
+def publish(specs):
+    return list(specs)

@@ -1,0 +1,49 @@
+"""REP011 fixture: tracked mutations that can escape without a bump."""
+
+
+class Overlay:
+    def __init__(self):
+        self._hosts = {}
+        self._adjacency = {}
+        self._epoch = 0
+
+    def add_peer(self, peer, host):
+        if peer in self._hosts:
+            return False
+        self._hosts[peer] = host
+        self._adjacency[peer] = set()
+        return True  # line 15: mutated, never bumped
+
+    def connect(self, u, v):
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        if u > v:
+            return True  # line 23: early return skips the bump
+        self._epoch += 1
+        return True
+
+    def disconnect(self, u, v):
+        adj = self._adjacency
+        adj[u].discard(v)  # line 29: mutation through a local alias
+        adj[v].discard(u)
+        return True
+
+    def _rebuild_slot(self, peer, slot):
+        # Private, but nobody in this file calls it: no caller can be
+        # carrying the bump, so the helper itself is flagged.
+        self._hosts[peer] = slot
+
+
+class AceProtocol:
+    def __init__(self):
+        self._states = {}
+        self._flat = None
+        self._state_version = 0
+
+    def handle_peer_left(self, peer):
+        if self._flat is not None:
+            self._flat.drop(peer)  # line 47: drop result ignored, no bump
+        self._states.pop(peer, None)  # line 48: unconditional, no bump
+        return None

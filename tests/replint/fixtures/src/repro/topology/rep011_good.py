@@ -1,0 +1,71 @@
+"""REP011 fixture: every blessed mutate-then-bump idiom."""
+
+
+class Overlay:
+    def __init__(self):
+        self._hosts = {}
+        self._adjacency = {}
+        self._edge_costs = {}
+        self._epoch = 0
+
+    def add_peer(self, peer, host):
+        if peer in self._hosts:
+            return False
+        self._hosts[peer] = host
+        self._adjacency[peer] = set()
+        self._epoch += 1
+        return True
+
+    def connect(self, u, v):
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._epoch += 1
+        if u > v:
+            return True  # fine: the bump already happened
+        return True
+
+    def remove_peer(self, peer):
+        try:
+            for other in list(self._adjacency[peer]):
+                self._adjacency[other].discard(peer)
+            del self._adjacency[peer]
+            del self._hosts[peer]
+        finally:
+            self._epoch += 1
+
+    def invalidate(self, u, v):
+        # Value-cache writes are not structural: no bump required.
+        self._edge_costs.pop((u, v), None)
+
+    def _fill_slot(self, peer, host):
+        # Private helper: every caller bumps, so the helper need not.
+        self._hosts[peer] = host
+
+    def adopt(self, peer, host):
+        self._fill_slot(peer, host)
+        self._epoch += 1
+
+
+class AceProtocol:
+    def __init__(self):
+        self._states = {}
+        self._flat = None
+        self._state_version = 0
+
+    def store_state(self, peer, state):
+        if self._flat is not None:
+            self._flat.put(peer, state)
+        else:
+            self._states[peer] = state
+        self._state_version += 1
+
+    def handle_peer_left(self, peer):
+        # bump-iff-changed: the guard call is the mutation, and its falsy
+        # branch means nothing changed.
+        if self._flat is not None:
+            if self._flat.drop(peer):
+                self._state_version += 1
+        elif self._states.pop(peer, None) is not None:
+            self._state_version += 1

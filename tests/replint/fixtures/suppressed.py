@@ -6,11 +6,11 @@ import numpy as np
 
 
 def trailing_pragma():
-    return random.random()  # replint: disable=REP001
+    return random.random()  # replint: disable=REP001 — jitter only, never replayed
 
 
 def preceding_comment_block():
     # This block explains at length why ambient entropy is acceptable in
     # this one spot, then suppresses the check for the line that follows.
-    # replint: disable=REP001 — justification text after the codes is ignored
+    # replint: disable=REP001 — unseeded generator feeds a smoke probe only
     return np.random.default_rng()

@@ -1,5 +1,5 @@
 """Suppression fixture: a whole-file pragma silences REP001 everywhere."""
-# replint: disable-file=REP001
+# replint: disable-file=REP001 — fixture exercises whole-file opt-out
 
 import random
 

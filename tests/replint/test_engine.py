@@ -32,7 +32,7 @@ class TestPragmaParsing:
         assert table.is_suppressed(1, "REP001")
         assert table.is_suppressed(1, "REP004")
 
-    def test_justification_text_after_codes_is_ignored(self):
+    def test_justification_text_after_codes_still_suppresses(self):
         table = parse_suppressions(
             "x = 1  # replint: disable=REP004 — served from the warm cache\n"
         )

@@ -1,0 +1,125 @@
+"""Output formats and the baseline mechanism: JSON findings, SARIF 2.1.0,
+and fingerprint-based suppression of known findings."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from tools.replint.engine import Violation
+from tools.replint.output import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    to_json,
+    to_sarif,
+    write_baseline,
+)
+from tools.replint.rules import default_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def v(path="src/repro/m.py", line=3, code="REP001", message="bad"):
+    return Violation(path=path, line=line, col=1, code=code, message=message)
+
+
+class TestJsonOutput:
+    def test_findings_round_trip_through_json(self):
+        payload = json.loads(to_json([v(), v(line=9, code="REP004")],
+                                     default_rules()))
+        assert payload["tool"] == "replint"
+        codes = [f["code"] for f in payload["findings"]]
+        assert codes == ["REP001", "REP004"]
+        assert all("fingerprint" in f for f in payload["findings"])
+
+    def test_empty_run_serializes(self):
+        payload = json.loads(to_json([], default_rules()))
+        assert payload["findings"] == []
+
+
+class TestSarifOutput:
+    def test_sarif_shape_and_schema(self):
+        doc = json.loads(to_sarif([v()], default_rules()))
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "replint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "REP001" in rule_ids and "REP013" in rule_ids
+
+    def test_result_points_at_violation(self):
+        doc = json.loads(to_sarif([v()], default_rules()))
+        result = doc["runs"][0]["results"][0]
+        assert result["ruleId"] == "REP001"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/m.py"
+        assert location["region"]["startLine"] == 3
+        assert "replintFingerprint/v1" in result["partialFingerprints"]
+
+    def test_rule_metadata_is_complete(self):
+        doc = json.loads(to_sarif([], default_rules()))
+        for rule in doc["runs"][0]["tool"]["driver"]["rules"]:
+            assert rule["id"].startswith("REP")
+            assert rule["shortDescription"]["text"]
+            assert rule["help"]["text"]
+
+
+class TestBaseline:
+    def test_round_trip_preserves_fingerprints(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        violations = [v(), v(line=9, code="REP004"), v(line=12)]
+        write_baseline(target, violations)
+        counts = load_baseline(target)
+        assert counts[fingerprint(v())] == 2  # two REP001 same message
+        assert sum(counts.values()) == 3
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_apply_baseline_absorbs_known_and_keeps_new(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        known = v()
+        write_baseline(target, [known])
+        fresh, absorbed = apply_baseline(
+            [known, v(code="REP005", message="new finding")],
+            load_baseline(target),
+        )
+        assert [f.code for f in fresh] == ["REP005"]
+        assert absorbed == 1
+
+    def test_fingerprints_are_line_independent(self, tmp_path):
+        # a finding that merely moved lines stays baselined
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [v(line=3)])
+        fresh, absorbed = apply_baseline([v(line=300)], load_baseline(target))
+        assert fresh == []
+        assert absorbed == 1
+
+    def test_multiplicity_budget_is_respected(self, tmp_path):
+        # baseline holds ONE copy; two identical findings -> one is new
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [v()])
+        fresh, absorbed = apply_baseline([v(), v()], load_baseline(target))
+        assert len(fresh) == 1
+        assert absorbed == 1
+
+
+class TestCheckedInBaseline:
+    def test_repo_baseline_exists_and_is_empty(self):
+        # the tree is clean, so the checked-in baseline carries no debt
+        payload = json.loads(
+            (REPO_ROOT / "tools" / "replint" / "baseline.json").read_text()
+        )
+        assert payload["findings"] == []
+
+    def test_cli_sarif_output_is_valid_json(self, tmp_path):
+        out = tmp_path / "replint.sarif"
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.replint", "src",
+             "--format", "sarif", "--output", str(out)],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"

@@ -1,0 +1,322 @@
+"""Whole-program engine tests: symbol index, call graph, dataflow core,
+and the edge cases the index build must survive (syntax errors, namespace
+packages, fixture exclusion)."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from tools.replint import check_paths
+from tools.replint.engine import (
+    PARSE_ERROR_CODE,
+    iter_python_files,
+    load_context,
+)
+from tools.replint.program import (
+    ObligationFailure,
+    ProgramIndex,
+    check_obligation,
+    collect_bindings,
+    walk_no_nested,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def build_index(tmp_path, files):
+    """Write {relpath: source} under tmp_path and index the tree."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    contexts = []
+    for path in iter_python_files([tmp_path]):
+        ctx = load_context(path)
+        if ctx is not None:
+            contexts.append(ctx)
+    return ProgramIndex.build(contexts)
+
+
+class TestSymbolIndex:
+    def test_functions_methods_and_classes_are_indexed(self, tmp_path):
+        index = build_index(tmp_path, {
+            "src/repro/widget.py": """
+                class Widget:
+                    def mutate(self):
+                        pass
+
+                def helper():
+                    pass
+            """,
+        })
+        names = {info.qualname for info in index.functions.values()}
+        assert "repro.widget:Widget.mutate" in names
+        assert "repro.widget:helper" in names
+        assert any(c.name == "Widget" for c in index.classes.values())
+
+    def test_private_name_convention(self, tmp_path):
+        index = build_index(tmp_path, {
+            "src/repro/m.py": """
+                def _hidden():
+                    pass
+
+                def __dunder__():
+                    pass
+            """,
+        })
+        by_name = {i.name: i for i in index.functions.values()}
+        assert by_name["_hidden"].is_private
+        assert not by_name["__dunder__"].is_private
+
+
+class TestCallGraph:
+    def test_same_module_call_resolves(self, tmp_path):
+        index = build_index(tmp_path, {
+            "src/repro/m.py": """
+                def callee():
+                    pass
+
+                def caller():
+                    callee()
+            """,
+        })
+        callers = index.callers_of.get("repro.m:callee", [])
+        assert [c.caller for c in callers] == ["repro.m:caller"]
+
+    def test_self_method_call_resolves(self, tmp_path):
+        index = build_index(tmp_path, {
+            "src/repro/m.py": """
+                class Box:
+                    def _fill(self):
+                        pass
+
+                    def pack(self):
+                        self._fill()
+            """,
+        })
+        callers = index.callers_of.get("repro.m:Box._fill", [])
+        assert [c.caller for c in callers] == ["repro.m:Box.pack"]
+
+    def test_from_import_call_resolves(self, tmp_path):
+        index = build_index(tmp_path, {
+            "src/repro/a.py": """
+                def shared():
+                    pass
+            """,
+            "src/repro/b.py": """
+                from repro.a import shared
+
+                def user():
+                    shared()
+            """,
+        })
+        callers = index.callers_of.get("repro.a:shared", [])
+        assert [c.caller for c in callers] == ["repro.b:user"]
+
+    def test_constructor_typing_resolves_later_method_calls(self, tmp_path):
+        index = build_index(tmp_path, {
+            "src/repro/m.py": """
+                class Store:
+                    def put(self, k):
+                        pass
+
+                def writer():
+                    s = Store()
+                    s.put(1)
+            """,
+        })
+        callers = index.callers_of.get("repro.m:Store.put", [])
+        assert [c.caller for c in callers] == ["repro.m:writer"]
+
+    def test_nested_defs_do_not_double_attribute_calls(self, tmp_path):
+        index = build_index(tmp_path, {
+            "src/repro/m.py": """
+                def target():
+                    pass
+
+                def outer():
+                    def inner():
+                        target()
+                    return inner
+            """,
+        })
+        callers = sorted(c.caller for c in index.callers_of.get("repro.m:target", []))
+        # only the nested function owns the call site
+        assert callers == ["repro.m:outer.inner"]
+
+    def test_subclasses_of_uses_textual_bases(self, tmp_path):
+        index = build_index(tmp_path, {
+            "src/repro/m.py": """
+                class Base:
+                    pass
+
+                class Mid(Base):
+                    pass
+
+                class Leaf(Mid):
+                    pass
+            """,
+        })
+        assert {c.name for c in index.subclasses_of("Base")} == {"Base", "Mid", "Leaf"}
+
+
+class TestDataflowCore:
+    def check(self, source, *, exit_ok=None):
+        tree = ast.parse(textwrap.dedent(source))
+        body = tree.body[0].body  # first function's statements
+
+        def is_trigger(node):
+            return isinstance(node, ast.Expr) and ast.unparse(node).startswith(
+                "trigger"
+            )
+
+        def is_release(node):
+            return isinstance(node, ast.Expr) and ast.unparse(node).startswith(
+                "release"
+            )
+
+        return check_obligation(
+            body, is_trigger, is_release, exit_ok=exit_ok
+        )
+
+    def test_trigger_then_release_is_clean(self):
+        assert self.check("""
+            def f():
+                trigger()
+                release()
+                return 1
+        """) == []
+
+    def test_trigger_without_release_fails_each_exit(self):
+        failures = self.check("""
+            def f():
+                trigger()
+                return 1
+        """)
+        assert len(failures) == 1
+        assert failures[0].kind == "return"
+
+    def test_early_return_before_release_fails(self):
+        failures = self.check("""
+            def f(flag):
+                trigger()
+                if flag:
+                    return None
+                release()
+                return 1
+        """)
+        assert len(failures) == 1
+
+    def test_finally_release_rescues_every_path(self):
+        assert self.check("""
+            def f(flag):
+                try:
+                    trigger()
+                    if flag:
+                        return None
+                    return 1
+                finally:
+                    release()
+        """) == []
+
+    def test_raise_exits_owe_nothing(self):
+        assert self.check("""
+            def f(flag):
+                trigger()
+                if flag:
+                    raise ValueError("no obligation on error exits")
+                release()
+        """) == []
+
+    def test_exit_ok_callback_excuses_ownership_transfer(self):
+        failures = self.check(
+            """
+            def f():
+                trigger()
+                return handoff()
+            """,
+            exit_ok=lambda node: True,
+        )
+        assert failures == []
+
+    def test_loop_zero_iteration_conservatism(self):
+        failures = self.check("""
+            def f(items):
+                trigger()
+                for item in items:
+                    release()
+                return 1
+        """)
+        # the loop may run zero times, so the release cannot be counted on
+        assert len(failures) == 1
+
+    def test_walk_no_nested_fences_inner_defs(self):
+        tree = ast.parse(textwrap.dedent("""
+            def outer():
+                a = 1
+                def inner():
+                    b = 2
+                return a
+        """))
+        names = [
+            n.id for n in walk_no_nested(tree.body[0])
+            if isinstance(n, ast.Name)
+        ]
+        assert "a" in names
+        assert "b" not in names
+
+    def test_collect_bindings_records_assignment_forms(self):
+        tree = ast.parse(textwrap.dedent("""
+            def f(pairs):
+                x = make()
+                y, z = pairs
+                for w in pairs:
+                    pass
+        """))
+        bindings = collect_bindings(tree.body[0].body)
+        assert {"x", "y", "z", "w"} <= set(bindings)
+        assert bindings["y"][0].via == "unpack"
+
+
+class TestIndexBuildEdgeCases:
+    def test_syntax_error_file_reports_finding_not_crash(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("def ok():\n    return 1\n")
+        broken = tmp_path / "broken.py"
+        broken.write_text("def nope(:\n")
+        violations = check_paths([tmp_path])
+        parse_errors = [v for v in violations if v.code == PARSE_ERROR_CODE]
+        assert len(parse_errors) == 1
+        assert parse_errors[0].path.endswith("broken.py")
+
+    def test_namespace_package_modules_are_indexed(self, tmp_path):
+        # no __init__.py anywhere: module naming must still work
+        index = build_index(tmp_path, {
+            "src/repro/ns/mod.py": """
+                def lonely():
+                    pass
+            """,
+        })
+        assert any(
+            info.qualname == "repro.ns.mod:lonely"
+            for info in index.functions.values()
+        )
+
+    def test_fixture_tree_is_excluded_from_real_program_index(self):
+        # The repository self-check walks tests/replint too; the fixtures
+        # directory (full of deliberate violations) must never make it
+        # into the index or the findings.
+        violations = check_paths([REPO_ROOT / "tests" / "replint"])
+        assert [v for v in violations if "fixtures" in v.path] == []
+
+    def test_ast_cache_reuses_contexts_across_calls(self, tmp_path):
+        target = tmp_path / "cached.py"
+        target.write_text("def f():\n    return 1\n")
+        first = load_context(target)
+        second = load_context(target)
+        assert first is second
+        # touching the file (mtime/size change) invalidates the entry
+        target.write_text("def f():\n    return 2  # changed\n")
+        third = load_context(target)
+        assert third is not first

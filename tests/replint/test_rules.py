@@ -267,3 +267,144 @@ class TestSuppressions:
         )
         assert lines(violations) == [11, 15]
         assert all(v.code == "REP001" for v in violations)
+
+
+class TestRngStreamDiscipline:
+    def test_bad_fixture_catches_every_stream_hazard(self):
+        violations = run_rule(
+            "REP009", "src/repro/experiments/rep009_bad.py"
+        )
+        assert all(v.code == "REP009" for v in violations)
+        # out-of-range (inline and named), re-spawn, out-of-order
+        # consumption, double consumption, spawn on a parameter.
+        assert lines(violations) == [9, 13, 19, 26, 33, 38]
+
+    def test_out_of_range_message_names_the_pinned_window(self):
+        violations = run_rule(
+            "REP009", "src/repro/experiments/rep009_bad.py"
+        )
+        first = [v for v in violations if v.line == 9][0]
+        assert "out of range" in first.message
+
+    def test_cross_function_spawn_is_named(self):
+        violations = run_rule(
+            "REP009", "src/repro/experiments/rep009_bad.py"
+        )
+        cross = [v for v in violations if v.line == 38][0]
+        assert "parameter" in cross.message
+
+    def test_good_fixture_is_clean(self):
+        # in-order consumption with gaps, inline spawn(5)[4], whole-list
+        # iteration, and passing children down are all sanctioned.
+        assert run_rule(
+            "REP009", "src/repro/experiments/rep009_good.py"
+        ) == []
+
+
+class TestShmLifecycle:
+    def test_bad_fixture_catches_leaks_and_attacher_unlink(self):
+        violations = run_rule("REP010", "src/repro/topology/rep010_bad.py")
+        assert all(v.code == "REP010" for v in violations)
+        # unconditional leak, early-return leak, dropped handle,
+        # attacher calling unlink.
+        assert lines(violations) == [9, 14, 23, 29]
+
+    def test_leak_message_points_at_the_escaping_return(self):
+        violations = run_rule("REP010", "src/repro/topology/rep010_bad.py")
+        early = [v for v in violations if v.line == 14][0]
+        assert "line 16" in early.message
+
+    def test_attacher_message_states_the_ownership_rule(self):
+        violations = run_rule("REP010", "src/repro/topology/rep010_bad.py")
+        attacher = [v for v in violations if v.line == 29][0]
+        assert "never unlink" in attacher.message
+
+    def test_good_fixture_is_clean(self):
+        # try/finally loop unlink, context manager, transfer-by-return,
+        # registry store, attacher close, owner-from-helper.
+        assert run_rule(
+            "REP010", "src/repro/topology/rep010_good.py"
+        ) == []
+
+
+class TestVersionBump:
+    def test_bad_fixture_catches_every_unbumped_mutation(self):
+        violations = run_rule("REP011", "src/repro/topology/rep011_bad.py")
+        assert all(v.code == "REP011" for v in violations)
+        # no bump at all, early return skipping the bump, mutation via a
+        # local alias, uncalled private helper, flat-store drop + pop.
+        assert lines(violations) == [14, 21, 30, 36, 48]
+
+    def test_message_names_method_and_version_attr(self):
+        violations = run_rule("REP011", "src/repro/topology/rep011_bad.py")
+        first = [v for v in violations if v.line == 14][0]
+        assert "add_peer" in first.message
+        assert "_epoch" in first.message
+        ace = [v for v in violations if v.line == 48][0]
+        assert "_state_version" in ace.message
+
+    def test_good_fixture_blesses_every_bump_idiom(self):
+        # bump-after-mutate, bump-before-early-return, try/finally bump,
+        # value-cache writes, private helper excused by bumping caller,
+        # bump-iff-changed guards.
+        assert run_rule(
+            "REP011", "src/repro/topology/rep011_good.py"
+        ) == []
+
+
+class TestFloatOrderHazards:
+    def test_bad_fixture_catches_every_reduction_hazard(self):
+        violations = run_rule("REP012", "src/repro/core/rep012_bad.py")
+        assert all(v.code == "REP012" for v in violations)
+        # set-order sums (accessor and literal), keyed min/sorted over
+        # sets, np.array materializing sets.
+        assert lines(violations) == [8, 13, 18, 22, 26, 31]
+
+    def test_message_prescribes_sorted_canonicalization(self):
+        violations = run_rule("REP012", "src/repro/core/rep012_bad.py")
+        assert "sorted" in violations[0].message
+
+    def test_good_fixture_is_clean(self):
+        # sorted-first reductions, unkeyed min, list sums, len() counting.
+        assert run_rule("REP012", "src/repro/core/rep012_good.py") == []
+
+    def test_rule_scoped_to_core_and_search(self, tmp_path):
+        source = (FIXTURES / "src/repro/core/rep012_bad.py").read_text()
+        elsewhere = tmp_path / "src" / "repro" / "experiments" / "h.py"
+        elsewhere.parent.mkdir(parents=True)
+        elsewhere.write_text(source)
+        assert check_file(elsewhere, [rules_by_code()["REP012"]]) == []
+
+
+class TestSuppressionHygiene:
+    def test_bare_pragma_is_flagged(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text(
+            "import random\n"
+            "x = random.random()  # replint: disable=REP001\n"
+        )
+        violations = check_file(target, [rules_by_code()["REP013"]])
+        assert [v.code for v in violations] == ["REP013"]
+        assert "justification" in violations[0].message
+
+    def test_justified_pragma_passes(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text(
+            "import random\n"
+            "x = random.random()  # replint: disable=REP001 — demo seam\n"
+        )
+        assert check_file(target, [rules_by_code()["REP013"]]) == []
+
+    def test_rep013_cannot_be_suppressed(self, tmp_path):
+        # silencing the auditor with its own mechanism must not work
+        target = tmp_path / "m.py"
+        target.write_text(
+            "# replint: disable-file=REP013\n"
+            "import random\n"
+            "x = random.random()  # replint: disable=REP001\n"
+        )
+        violations = check_file(target, [rules_by_code()["REP013"]])
+        # both bare pragmas are flagged: the disable-file aimed at REP013
+        # itself, and the line-level REP001 pragma it tried to shield
+        assert [v.code for v in violations] == ["REP013", "REP013"]
+        assert lines(violations) == [1, 3]

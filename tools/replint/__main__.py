@@ -1,6 +1,7 @@
 """Command-line entry point: ``python -m tools.replint [paths...]``.
 
-Exit status: 0 when clean, 1 when violations were found, 2 on bad usage.
+Exit status: 0 when clean (or all findings baselined), 1 when new
+violations were found, 2 on bad usage.
 """
 
 from __future__ import annotations
@@ -10,7 +11,15 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .engine import DEFAULT_EXCLUDED_DIRS, check_paths
+from .engine import DEFAULT_EXCLUDED_DIRS, check_paths, iter_contexts
+from .output import (
+    apply_baseline,
+    default_baseline_path,
+    load_baseline,
+    to_json,
+    to_sarif,
+    write_baseline,
+)
 from .rules import default_rules, rules_by_code
 
 
@@ -18,17 +27,20 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m tools.replint",
         description=(
-            "AST-based invariant checker for the repro codebase: "
+            "Whole-program invariant checker for the repro codebase: "
             "determinism (REP001), cache coherence (REP002), layering "
             "(REP003), perf hygiene (REP004), no topology pickling "
-            "(REP005)."
+            "(REP005), oracle seam (REP006), batched queries (REP007), "
+            "SoA hygiene (REP008), RNG stream discipline (REP009), "
+            "shared-memory lifecycle (REP010), version bumps (REP011), "
+            "float-order hazards (REP012), suppression hygiene (REP013)."
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src", "tests"],
-        help="files or directories to check (default: src tests)",
+        default=["src", "tests", "tools"],
+        help="files or directories to check (default: src tests tools)",
     )
     parser.add_argument(
         "--rules",
@@ -47,6 +59,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "because the replint test suite keeps deliberately bad files there)",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="findings serialization (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write findings to FILE instead of stdout "
+        "(the summary line still goes to stdout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="accepted-findings file; findings recorded there do not fail "
+        "the run (default: tools/replint/baseline.json when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline, report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        nargs="?",
+        const="",
+        help="write the current findings as the new baseline and exit 0 "
+        "(default target: the active baseline path)",
+    )
+    parser.add_argument(
+        "--show-suppressions",
+        action="store_true",
+        help="audit every '# replint: disable' pragma (with justification) "
+        "and exit",
+    )
+    parser.add_argument(
         "-q",
         "--quiet",
         action="store_true",
@@ -55,15 +104,48 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        Path(output).write_text(text, encoding="utf-8")
+    else:
+        sys.stdout.write(text)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.list_rules:
         for rule in default_rules():
-            print(f"{rule.code}  {rule.name:16s} {rule.description}")
+            print(f"{rule.code}  {rule.name:24s} {rule.description}")
         return 0
 
-    rules = default_rules()
+    paths = [Path(p) for p in args.paths]
+    excluded = DEFAULT_EXCLUDED_DIRS
+    if args.include_fixtures:
+        excluded = frozenset(excluded - {"fixtures"})
+
+    if args.show_suppressions:
+        try:
+            count = 0
+            for ctx in iter_contexts(paths, excluded_dirs=excluded):
+                for record in ctx.suppressions.records:
+                    count += 1
+                    codes = ",".join(sorted(record.codes))
+                    scope = (
+                        "file"
+                        if record.kind == "file"
+                        else f"line {record.target_line}"
+                    )
+                    why = record.justification or "(no justification)"
+                    print(f"{ctx.path}:{record.pragma_line}: [{codes}] {scope} — {why}")
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not args.quiet:
+            print(f"replint: {count} suppression(s)")
+        return 0
+
+    rules: List[object] = list(default_rules())
     if args.rules:
         table = rules_by_code()
         wanted = [c.strip() for c in args.rules.split(",") if c.strip()]
@@ -77,26 +159,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         rules = [table[c] for c in wanted]
 
-    excluded = DEFAULT_EXCLUDED_DIRS
-    if args.include_fixtures:
-        excluded = frozenset(excluded - {"fixtures"})
-
     try:
-        violations = check_paths(
-            [Path(p) for p in args.paths], rules=rules, excluded_dirs=excluded
-        )
+        violations = check_paths(paths, rules=rules, excluded_dirs=excluded)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    for violation in violations:
-        print(violation.format())
-    if not args.quiet:
-        codes = ", ".join(r.code for r in rules)
-        if violations:
-            print(f"replint: {len(violations)} violation(s) [{codes}]")
+    baseline_path: Optional[Path] = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline_path = Path(args.baseline)
         else:
-            print(f"replint: clean [{codes}]")
+            baseline_path = default_baseline_path()
+
+    if args.write_baseline is not None:
+        target = Path(args.write_baseline) if args.write_baseline else baseline_path
+        if target is None:
+            target = Path(__file__).resolve().parent / "baseline.json"
+        write_baseline(target, violations)
+        if not args.quiet:
+            print(f"replint: wrote baseline with {len(violations)} finding(s) to {target}")
+        return 0
+
+    absorbed = 0
+    if baseline_path is not None:
+        violations, absorbed = apply_baseline(violations, load_baseline(baseline_path))
+
+    if args.format == "json":
+        _emit(to_json(violations, rules), args.output)
+    elif args.format == "sarif":
+        _emit(to_sarif(violations, rules), args.output)
+    else:
+        text = "".join(v.format() + "\n" for v in violations)
+        _emit(text, args.output)
+
+    if not args.quiet:
+        codes = ", ".join(getattr(r, "code", "?") for r in rules)
+        suffix = f", {absorbed} baselined" if absorbed else ""
+        if violations:
+            print(f"replint: {len(violations)} violation(s){suffix} [{codes}]")
+        else:
+            print(f"replint: clean{suffix} [{codes}]")
     return 1 if violations else 0
 
 

@@ -12,10 +12,17 @@ The pieces:
 * :class:`Violation` — one finding, formatted ``path:line:col: CODE message``.
 * :class:`FileContext` — a parsed file plus derived metadata (dotted module
   name when the file sits under a ``src/`` root, suppression table).
-* :class:`Rule` — base class; concrete rules live in :mod:`tools.replint.rules`.
-* :func:`check_paths` — walk files/directories, run every rule, return the
-  sorted findings.  This is what both the CLI (``python -m tools.replint``)
-  and the pytest bridge call.
+  :func:`load_context` serves contexts from an mtime-keyed cache so each
+  file is read and parsed **once** per process, no matter how many rules
+  (or the program index) need it.
+* :class:`Rule` — per-file base class; concrete rules live in
+  :mod:`tools.replint.rules`.
+* :class:`ProgramRule` — whole-program base class; receives a
+  :class:`~tools.replint.program.ProgramIndex` (symbol table + call graph)
+  built once over every file in the run.
+* :func:`check_paths` — walk files/directories, run every rule of both
+  kinds, return the sorted findings.  This is what both the CLI
+  (``python -m tools.replint``) and the pytest bridge call.
 
 Suppressions
 ------------
@@ -26,7 +33,9 @@ either on the reported line itself or alone on the line directly above it
 opt out of specific rules with ``# replint: disable-file=CODE[,CODE...]``
 anywhere in the file.  Suppressions are deliberately *narrow*: there is no
 ``enable`` pragma and no block scope, so every exception stays visible at the
-line that needs it.
+line that needs it.  Every pragma must carry a justification after the code
+list (``# replint: disable=REP004 — served from cache``); REP013 flags bare
+ones, and ``--show-suppressions`` audits the inventory.
 """
 
 from __future__ import annotations
@@ -36,15 +45,32 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
+    from .program import ProgramIndex
 
 __all__ = [
     "Violation",
     "FileContext",
     "Rule",
+    "ProgramRule",
+    "SuppressionRecord",
     "parse_suppressions",
     "module_name_for",
     "iter_python_files",
+    "load_context",
     "check_file",
     "check_paths",
 ]
@@ -77,6 +103,21 @@ class Violation:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
+@dataclass(frozen=True)
+class SuppressionRecord:
+    """One parsed pragma, kept for auditing (``--show-suppressions``, REP013)."""
+
+    #: Line the pragma comment sits on.
+    pragma_line: int
+    #: Line the suppression applies to (``0`` for whole-file pragmas).
+    target_line: int
+    #: ``"line"`` or ``"file"``.
+    kind: str
+    codes: FrozenSet[str] = frozenset()
+    #: Free text after the code list; empty string when the author gave none.
+    justification: str = ""
+
+
 @dataclass
 class Suppressions:
     """Per-file suppression table derived from magic comments."""
@@ -85,6 +126,8 @@ class Suppressions:
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
     #: codes disabled for the whole file (or ``{"*"}``).
     whole_file: Set[str] = field(default_factory=set)
+    #: every pragma in source order, for auditing.
+    records: List[SuppressionRecord] = field(default_factory=list)
 
     def is_suppressed(self, line: int, code: str) -> bool:
         """Whether *code* is silenced at *line*."""
@@ -98,15 +141,20 @@ class Suppressions:
 
 _CODE_LIST_RE = re.compile(r"\s*([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
 
+#: Separator punctuation allowed between the code list and the justification
+#: text (em/en dash, hyphen, colon).
+_JUSTIFICATION_STRIP = " \t—–:-"
 
-def _parse_pragma(comment: str) -> Optional[Tuple[str, Set[str]]]:
-    """Parse one ``# replint: ...`` comment into ``(kind, codes)``.
+
+def _parse_pragma(comment: str) -> Optional[Tuple[str, Set[str], str]]:
+    """Parse one ``# replint: ...`` comment into ``(kind, codes, why)``.
 
     Returns ``None`` for comments that are not replint pragmas.  *kind* is
     ``"line"`` or ``"file"``; *codes* is the set of rule codes (or
-    ``{"*"}`` for a bare ``disable``).  Free text after the code list
-    (``# replint: disable=REP004 — served from cache``) is a justification
-    and is ignored by the parser — but encouraged by the humans.
+    ``{"*"}`` for a bare ``disable``); *why* is the justification text
+    after the code list (``# replint: disable=REP004 — served from
+    cache``).  An empty *why* is a REP013 finding — suppressions must say
+    what they are for.
     """
     text = comment.lstrip("#").strip()
     if not text.startswith("replint:"):
@@ -120,12 +168,15 @@ def _parse_pragma(comment: str) -> Optional[Tuple[str, Set[str]]]:
         return None
     rest = rest.strip()
     if not rest or not rest.startswith("="):
-        return kind, {ALL_CODES}
+        return kind, {ALL_CODES}, rest.strip(_JUSTIFICATION_STRIP)
     match = _CODE_LIST_RE.match(rest[1:])
     if match is None:
         return None
     codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
-    return (kind, codes) if codes else None
+    if not codes:
+        return None
+    justification = rest[1:][match.end():].strip(_JUSTIFICATION_STRIP)
+    return kind, codes, justification
 
 
 def parse_suppressions(source: str) -> Suppressions:
@@ -161,9 +212,12 @@ def parse_suppressions(source: str) -> Suppressions:
         parsed = _parse_pragma(comment)
         if parsed is None:
             continue
-        kind, codes = parsed
+        kind, codes, justification = parsed
         if kind == "file":
             table.whole_file |= codes
+            table.records.append(
+                SuppressionRecord(line, 0, kind, frozenset(codes), justification)
+            )
             continue
         if line in code_lines:
             target = line
@@ -175,6 +229,9 @@ def parse_suppressions(source: str) -> Suppressions:
             while target in comment_lines and target not in code_lines:
                 target += 1
         table.by_line.setdefault(target, set()).update(codes)
+        table.records.append(
+            SuppressionRecord(line, target, kind, frozenset(codes), justification)
+        )
     return table
 
 
@@ -226,6 +283,13 @@ class FileContext:
             suppressions=parse_suppressions(source),
         )
 
+    @property
+    def in_repro_src(self) -> bool:
+        """Whether this file is an importable ``repro`` source module."""
+        return self.module is not None and (
+            self.module == "repro" or self.module.startswith("repro.")
+        )
+
     def violation(self, node: ast.AST, code: str, message: str) -> Violation:
         """Construct a violation anchored at *node*."""
         return Violation(
@@ -237,8 +301,36 @@ class FileContext:
         )
 
 
+#: Process-wide context cache keyed by resolved path; entries carry the
+#: ``(mtime_ns, size)`` stamp they were parsed under and are replaced when
+#: the file changes.  With eight-plus rules sharing every AST, this is what
+#: keeps the tier-1 self-check's wall clock flat as the rule count grows.
+_CONTEXT_CACHE: Dict[str, Tuple[Tuple[int, int], FileContext]] = {}
+
+
+def load_context(path: Path) -> FileContext:
+    """Cached :meth:`FileContext.load` (raises ``SyntaxError`` like it).
+
+    The cache key is the file's ``(st_mtime_ns, st_size)`` stamp, so edits
+    between runs in one process (tests do this constantly) invalidate
+    naturally while repeated checks of an unchanged tree parse nothing.
+    """
+    key = str(path)
+    try:
+        stat = path.stat()
+        stamp = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        return FileContext.load(path)
+    cached = _CONTEXT_CACHE.get(key)
+    if cached is not None and cached[0] == stamp:
+        return cached[1]
+    ctx = FileContext.load(path)
+    _CONTEXT_CACHE[key] = (stamp, ctx)
+    return ctx
+
+
 class Rule:
-    """Base class for replint rules.
+    """Base class for per-file replint rules.
 
     Subclasses set :attr:`code` / :attr:`name` / :attr:`description` and
     implement :meth:`check`.  :meth:`applies_to` lets a rule scope itself to
@@ -268,6 +360,45 @@ class Rule:
         ]
 
 
+class ProgramRule:
+    """Base class for whole-program replint rules.
+
+    Unlike :class:`Rule`, a program rule runs **once** per check over a
+    :class:`~tools.replint.program.ProgramIndex` covering every parsed
+    file, so it can follow calls across functions and modules (REP009's
+    stream taint, REP010's ownership transfer, REP011's caller-bump
+    exemption all need that).  Line suppressions work exactly as for file
+    rules: findings are filtered against the suppression table of the file
+    they land in.
+    """
+
+    code: str = "REP999"
+    name: str = "unnamed"
+    description: str = ""
+
+    def check_program(self, program: "ProgramIndex") -> Iterable[Violation]:
+        """Yield violations found anywhere in the program."""
+        raise NotImplementedError
+
+    def run_program(self, program: "ProgramIndex") -> List[Violation]:
+        """Run the rule and drop suppressed findings."""
+        out: List[Violation] = []
+        for v in self.check_program(program):
+            ctx = program.files.get(v.path)
+            if ctx is not None and ctx.suppressions.is_suppressed(v.line, v.code):
+                continue
+            out.append(v)
+        return out
+
+
+def _split_rules(
+    rules: Sequence[object],
+) -> Tuple[List[Rule], List[ProgramRule]]:
+    file_rules = [r for r in rules if isinstance(r, Rule)]
+    program_rules = [r for r in rules if isinstance(r, ProgramRule)]
+    return file_rules, program_rules
+
+
 def iter_python_files(
     paths: Sequence[Path],
     excluded_dirs: FrozenSet[str] = DEFAULT_EXCLUDED_DIRS,
@@ -291,41 +422,91 @@ def iter_python_files(
                 yield sub
 
 
-def check_file(path: Path, rules: Sequence[Rule]) -> List[Violation]:
-    """Run *rules* over one file (a parse failure is itself a violation)."""
+def _parse_error_violation(path: Path, exc: SyntaxError) -> Violation:
+    return Violation(
+        path=str(path),
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1,
+        code=PARSE_ERROR_CODE,
+        message=f"file could not be parsed: {exc.msg}",
+    )
+
+
+def check_file(path: Path, rules: Sequence[object]) -> List[Violation]:
+    """Run *rules* over one file (a parse failure is itself a violation).
+
+    Program rules are supported by building a single-file program index —
+    handy for fixtures and focused tests; real runs get the shared index
+    from :func:`check_paths`.
+    """
     try:
-        ctx = FileContext.load(path)
+        ctx = load_context(path)
     except SyntaxError as exc:
-        return [
-            Violation(
-                path=str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                code=PARSE_ERROR_CODE,
-                message=f"file could not be parsed: {exc.msg}",
-            )
-        ]
+        return [_parse_error_violation(path, exc)]
+    file_rules, program_rules = _split_rules(rules)
     out: List[Violation] = []
-    for rule in rules:
+    for rule in file_rules:
         out.extend(rule.run(ctx))
+    if program_rules:
+        from .program import ProgramIndex
+
+        program = ProgramIndex.build([ctx])
+        for prule in program_rules:
+            out.extend(prule.run_program(program))
+    out.sort()
     return out
 
 
 def check_paths(
     paths: Sequence[Path],
-    rules: Optional[Sequence[Rule]] = None,
+    rules: Optional[Sequence[object]] = None,
     excluded_dirs: FrozenSet[str] = DEFAULT_EXCLUDED_DIRS,
 ) -> List[Violation]:
     """Check every python file under *paths* with *rules* (default: all).
 
+    Every file is parsed once (through the context cache), per-file rules
+    run over each context, and the program rules run once over a
+    :class:`~tools.replint.program.ProgramIndex` built from all parsed
+    files.  Unparsable files become REP000 findings and simply stay out of
+    the index — a broken file must never take the whole analysis down.
     Returns the findings sorted by location for stable, diffable output.
     """
     if rules is None:
         from .rules import default_rules
 
         rules = default_rules()
+    file_rules, program_rules = _split_rules(rules)
     out: List[Violation] = []
+    contexts: List[FileContext] = []
     for path in iter_python_files(paths, excluded_dirs=excluded_dirs):
-        out.extend(check_file(path, rules))
+        try:
+            ctx = load_context(path)
+        except SyntaxError as exc:
+            out.append(_parse_error_violation(path, exc))
+            continue
+        contexts.append(ctx)
+        for rule in file_rules:
+            out.extend(rule.run(ctx))
+    if program_rules:
+        from .program import ProgramIndex
+
+        program = ProgramIndex.build(contexts)
+        for prule in program_rules:
+            out.extend(prule.run_program(program))
     out.sort()
     return out
+
+
+def iter_contexts(
+    paths: Sequence[Path],
+    excluded_dirs: FrozenSet[str] = DEFAULT_EXCLUDED_DIRS,
+) -> Iterator[FileContext]:
+    """Parsed contexts for every checkable file (skipping unparsable ones).
+
+    Used by ``--show-suppressions`` to audit pragmas without running rules.
+    """
+    for path in iter_python_files(paths, excluded_dirs=excluded_dirs):
+        try:
+            yield load_context(path)
+        except SyntaxError:
+            continue

@@ -1,0 +1,212 @@
+"""Machine-readable output and the findings baseline.
+
+Three serializations of a findings list:
+
+* text — the classic ``path:line:col: CODE message`` (lives on
+  :meth:`~tools.replint.engine.Violation.format`; nothing to do here),
+* JSON — a small stable schema for scripting,
+* SARIF 2.1.0 — what GitHub code scanning ingests, so replint findings
+  annotate pull requests next to CodeQL's.
+
+Plus the **baseline**: a checked-in inventory of accepted findings so CI
+fails only on *new* ones.  Fingerprints are ``sha1(path::code::message)``
+— deliberately line-independent, so unrelated edits that shift a finding
+up or down do not churn the baseline; identical findings are multiplicity
+counted, so adding a second instance of a baselined problem still fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .engine import Violation
+
+__all__ = [
+    "fingerprint",
+    "to_json",
+    "to_sarif",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+#: Schema version of both the JSON findings format and the baseline file.
+FORMAT_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable identity of a finding, independent of its line/column."""
+    key = f"{violation.path}::{violation.code}::{violation.message}"
+    return hashlib.sha1(key.encode("utf-8")).hexdigest()
+
+
+def _rule_table(rules: Sequence[object]) -> List[Tuple[str, str, str]]:
+    seen = set()
+    out: List[Tuple[str, str, str]] = []
+    for rule in rules:
+        code = getattr(rule, "code", "")
+        if not code or code in seen:
+            continue
+        seen.add(code)
+        out.append((code, getattr(rule, "name", ""), getattr(rule, "description", "")))
+    return sorted(out)
+
+
+def to_json(violations: Sequence[Violation], rules: Sequence[object] = ()) -> str:
+    """Render findings as a JSON document (stable key order, trailing \\n)."""
+    doc = {
+        "version": FORMAT_VERSION,
+        "tool": "replint",
+        "rules": [
+            {"code": code, "name": name, "description": desc}
+            for code, name, desc in _rule_table(rules)
+        ],
+        "findings": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "code": v.code,
+                "message": v.message,
+                "fingerprint": fingerprint(v),
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def to_sarif(violations: Sequence[Violation], rules: Sequence[object] = ()) -> str:
+    """Render findings as a SARIF 2.1.0 log (one run, one artifact per file)."""
+    sarif_rules = [
+        {
+            "id": code,
+            "name": name or code,
+            "shortDescription": {"text": desc or name or code},
+            "help": {"text": f"See docs/STATIC_ANALYSIS.md, section {code}."},
+        }
+        for code, name, desc in _rule_table(rules)
+    ]
+    known = {r["id"] for r in sarif_rules}
+    results = []
+    for v in violations:
+        result = {
+            "ruleId": v.code,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(v.path).as_posix(),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(v.line, 1),
+                            "startColumn": max(v.col, 1),
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"replintFingerprint/v1": fingerprint(v)},
+        }
+        if v.code in known:
+            result["ruleIndex"] = sorted(known).index(v.code)
+        results.append(result)
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "replint",
+                        "rules": sarif_rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file into ``{fingerprint: allowed count}``.
+
+    A missing file is an empty baseline (every finding is new), so a fresh
+    checkout with no baseline behaves exactly like plain replint.
+    """
+    if not path.is_file():
+        return {}
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    entries = doc.get("findings", [])
+    out: Dict[str, int] = {}
+    for entry in entries:
+        out[entry["fingerprint"]] = out.get(entry["fingerprint"], 0) + int(
+            entry.get("count", 1)
+        )
+    return out
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    """Write the baseline for *violations* (sorted, multiplicity-counted)."""
+    counted: Dict[str, Dict[str, object]] = {}
+    for v in violations:
+        fp = fingerprint(v)
+        if fp in counted:
+            counted[fp]["count"] = int(counted[fp]["count"]) + 1  # type: ignore[arg-type]
+        else:
+            counted[fp] = {
+                "fingerprint": fp,
+                "path": v.path,
+                "code": v.code,
+                "message": v.message,
+                "count": 1,
+            }
+    doc = {
+        "version": FORMAT_VERSION,
+        "tool": "replint",
+        "findings": sorted(
+            counted.values(), key=lambda e: (e["path"], e["code"], e["message"])
+        ),
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Dict[str, int]
+) -> Tuple[List[Violation], int]:
+    """Split findings into (new, suppressed-by-baseline count).
+
+    Each baselined fingerprint absorbs up to its recorded count of
+    matching findings; any surplus is new (a second copy of an accepted
+    problem is still a regression).
+    """
+    budget = dict(baseline)
+    fresh: List[Violation] = []
+    absorbed = 0
+    for v in violations:
+        fp = fingerprint(v)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            absorbed += 1
+        else:
+            fresh.append(v)
+    return fresh, absorbed
+
+
+def default_baseline_path() -> Optional[Path]:
+    """The checked-in baseline next to this package, when present."""
+    candidate = Path(__file__).resolve().parent / "baseline.json"
+    return candidate if candidate.is_file() else None

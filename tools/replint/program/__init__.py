@@ -1,0 +1,39 @@
+"""Whole-program analysis layer for replint.
+
+Per-file rules (REP001–REP008) see one AST at a time; the invariants that
+actually protect byte-identical reproduction — seed-stream consumption
+order, ``export_shared``/``unlink`` pairing, mutate-implies-version-bump —
+cross function and module boundaries.  This package supplies the shared
+infrastructure for rules that need the bigger picture:
+
+* :mod:`tools.replint.program.index` — :class:`ProgramIndex`, a symbol
+  table plus call graph built once over every parsed file in the run.
+* :mod:`tools.replint.program.dataflow` — an intraprocedural "all paths"
+  obligation checker (trigger ⇒ release before any return) and
+  flow-insensitive binding helpers, both tolerant of ``try``/``finally``,
+  ``with``, loops and the repo's *bump-iff-changed* idiom.
+
+Everything stays stdlib-only (``ast`` + ``tokenize``), like the rest of
+replint.
+"""
+
+from .dataflow import (
+    Binding,
+    ObligationFailure,
+    check_obligation,
+    collect_bindings,
+    walk_no_nested,
+)
+from .index import CallSite, ClassInfo, FunctionInfo, ProgramIndex
+
+__all__ = [
+    "Binding",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ObligationFailure",
+    "ProgramIndex",
+    "check_obligation",
+    "collect_bindings",
+    "walk_no_nested",
+]

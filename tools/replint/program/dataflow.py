@@ -1,0 +1,356 @@
+"""Intraprocedural dataflow helpers for program rules.
+
+The workhorse is :func:`check_obligation`, an abstract interpreter over a
+function body that enforces contracts of the shape *"once a trigger has
+executed, a release must execute before every normal exit"*.  REP010 uses
+it with trigger = "shared segment created" / release = "``.unlink()``
+reachable on this path"; REP011 with trigger = "tracked attribute mutated"
+/ release = "version counter bumped".
+
+The interpreter is deliberately conservative in the directions that keep
+rules quiet on correct code:
+
+* ``try``/``finally`` — a ``finally`` block whose straight-line execution
+  releases the obligation rescues **every** exit inside the ``try`` (that
+  is exactly what ``finally`` guarantees at runtime).
+* ``with`` — scanned like a plain block; rules that treat a context
+  manager itself as the release simply exempt creation nodes that appear
+  in a ``withitem``.
+* loops — bodies are scanned once; a loop can run zero times, so the
+  pre-loop state survives, and ``break``/``continue`` states merge into
+  the post-loop state.
+* the *bump-iff-changed* idiom — when the trigger sits in an ``if`` test
+  (``if self._flat.drop(peer): self._state_version += 1``) only the true
+  branch is armed: the guard returning falsy means no mutation happened.
+* ``raise`` — an exceptional exit owes nothing (the contract is about
+  return paths; exception safety is what the ``finally`` handling checks).
+
+States: ``OK`` (no pending obligation), ``ARMED`` (trigger seen, release
+still owed), ``DEAD`` (control cannot reach here).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "OK",
+    "ARMED",
+    "DEAD",
+    "Binding",
+    "ObligationFailure",
+    "check_obligation",
+    "collect_bindings",
+    "walk_no_nested",
+]
+
+OK = 0
+ARMED = 1
+DEAD = 2
+
+#: Node types whose bodies belong to a different scope and must not leak
+#: triggers/releases into the enclosing function's analysis.
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def walk_no_nested(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield *node* and its subtree, without descending into nested scopes.
+
+    The root itself is yielded even when it is a function or class
+    definition; only *child* scopes are fenced off.
+    """
+    stack: List[ast.AST] = [node]
+    first = True
+    while stack:
+        current = stack.pop()
+        if not first and isinstance(current, _NESTED_SCOPES):
+            continue
+        first = False
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+Predicate = Callable[[ast.AST], bool]
+
+
+@dataclass(frozen=True)
+class ObligationFailure:
+    """One exit path on which the obligation was still pending."""
+
+    #: The statement where the armed path leaves the function: a ``return``
+    #: node, or the trigger itself when the function falls off the end.
+    exit_node: ast.AST
+    #: The most recent trigger on the failing path (best anchor for the
+    #: human-facing message).
+    trigger: Optional[ast.AST]
+    #: ``"return"`` or ``"fall-through"``.
+    kind: str
+
+
+class _LoopFrame:
+    __slots__ = ("exit_states",)
+
+    def __init__(self) -> None:
+        # States flowing out of the loop via ``break`` or back to the head
+        # via ``continue`` (the next test may be the last, so a continue
+        # state can also reach the loop exit).
+        self.exit_states: List[int] = []
+
+
+def _merge(states: Sequence[int]) -> int:
+    live = [s for s in states if s != DEAD]
+    if not live:
+        return DEAD
+    return ARMED if any(s == ARMED for s in live) else OK
+
+
+class _Scanner:
+    def __init__(
+        self,
+        is_trigger: Predicate,
+        is_release: Predicate,
+        exit_ok: Optional[Callable[[ast.Return], bool]] = None,
+    ) -> None:
+        self.is_trigger = is_trigger
+        self.is_release = is_release
+        self.exit_ok = exit_ok
+        self.failures: List[ObligationFailure] = []
+        self.last_trigger: Optional[ast.AST] = None
+        self.loops: List[_LoopFrame] = []
+
+    # -- node-level effects -------------------------------------------------
+
+    def _contains(self, node: Optional[ast.AST], pred: Predicate) -> bool:
+        if node is None:
+            return False
+        return any(pred(n) for n in walk_no_nested(node))
+
+    def _effect(self, node: Optional[ast.AST], state: int) -> int:
+        """State after executing *node* as a straight-line unit."""
+        if node is None:
+            return state
+        triggers = False
+        releases = False
+        for sub in walk_no_nested(node):
+            if self.is_trigger(sub):
+                triggers = True
+                self.last_trigger = sub
+            if self.is_release(sub):
+                releases = True
+        if triggers and releases:
+            # Same-statement pairs (``self._states[p] = s; bump`` folded into
+            # one line, or a release guarded by its own trigger) — assume the
+            # release ran after the trigger.
+            return OK
+        if triggers:
+            return ARMED
+        if releases:
+            return OK
+        return state
+
+    # -- statement dispatch -------------------------------------------------
+
+    def scan(self, stmts: Sequence[ast.stmt], state: int) -> int:
+        for stmt in stmts:
+            if state == DEAD:
+                return DEAD
+            state = self._scan_stmt(stmt, state)
+        return state
+
+    def _scan_stmt(self, stmt: ast.stmt, state: int) -> int:
+        if isinstance(stmt, ast.Return):
+            state = self._effect(stmt.value, state)
+            if state == ARMED and not (self.exit_ok and self.exit_ok(stmt)):
+                self.failures.append(
+                    ObligationFailure(stmt, self.last_trigger, "return")
+                )
+            return DEAD
+        if isinstance(stmt, ast.Raise):
+            return DEAD
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loops:
+                self.loops[-1].exit_states.append(state)
+            return DEAD
+        if isinstance(stmt, ast.If):
+            return self._scan_if(stmt, state)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._scan_loop(stmt, state)
+        if isinstance(stmt, ast.Try):
+            return self._scan_try(stmt, state)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                state = self._effect(item.context_expr, state)
+            return self.scan(stmt.body, state)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return state
+        # Simple statements (Assign, AugAssign, Expr, Delete, Assert, ...).
+        return self._effect(stmt, state)
+
+    def _scan_if(self, stmt: ast.If, state: int) -> int:
+        test_arms = self._contains(stmt.test, self.is_trigger)
+        test_releases = self._contains(stmt.test, self.is_release)
+        after_test = self._effect(stmt.test, state)
+        if test_arms and not test_releases:
+            # bump-iff-changed: the guard *is* the mutation; its falsy
+            # branch means nothing changed, so only the true branch owes.
+            body_in, else_in = ARMED, state
+        else:
+            body_in = else_in = after_test
+        body_out = self.scan(stmt.body, body_in)
+        else_out = self.scan(stmt.orelse, else_in) if stmt.orelse else else_in
+        return _merge([body_out, else_out])
+
+    def _scan_loop(self, stmt: ast.stmt, state: int) -> int:
+        if self.is_release(stmt):
+            # A rule may recognize the whole loop as one release unit —
+            # REP010's cleanup loop ``for seg in owned.values():
+            # seg.unlink()`` is vacuously satisfied when the container is
+            # empty, so the usual zero-iteration conservatism would be a
+            # false positive here.
+            return self._effect(stmt, state)
+        head = stmt.test if isinstance(stmt, ast.While) else stmt.iter  # type: ignore[attr-defined]
+        in_state = self._effect(head, state)
+        frame = _LoopFrame()
+        self.loops.append(frame)
+        body_out = self.scan(stmt.body, in_state)  # type: ignore[attr-defined]
+        self.loops.pop()
+        # Zero iterations keep ``in_state``; one-or-more keep ``body_out``;
+        # break/continue states can also reach the loop exit.
+        after = _merge([in_state, body_out] + frame.exit_states)
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            after = self.scan(orelse, after)
+        return after
+
+    def _probe(self, stmts: Sequence[ast.stmt], state: int) -> "_Scanner":
+        sub = _Scanner(self.is_trigger, self.is_release, self.exit_ok)
+        sub.last_trigger = self.last_trigger
+        sub.end_state = sub.scan(stmts, state)  # type: ignore[attr-defined]
+        return sub
+
+    def _scan_try(self, stmt: ast.Try, state: int) -> int:
+        body = self._probe(stmt.body, state)
+        body_end: int = body.end_state  # type: ignore[attr-defined]
+        # Any statement in the body may raise after the trigger executed.
+        handler_in = ARMED if any(
+            self.is_trigger(n) for s in stmt.body for n in walk_no_nested(s)
+        ) else state
+        branches: List[_Scanner] = [body]
+        ends: List[int] = []
+        for handler in stmt.handlers:
+            sub = self._probe(handler.body, handler_in)
+            branches.append(sub)
+            ends.append(sub.end_state)  # type: ignore[attr-defined]
+        if stmt.orelse:
+            sub = self._probe(stmt.orelse, body_end)
+            branches.append(sub)
+            ends.append(sub.end_state)  # type: ignore[attr-defined]
+        else:
+            ends.append(body_end)
+        merged = _merge(ends)
+        collected = [f for b in branches for f in b.failures]
+        if stmt.finalbody:
+            # Does straight-line execution of the finally release the
+            # obligation no matter what state flows in?
+            fin = self._probe(stmt.finalbody, ARMED)
+            fin_end: int = fin.end_state  # type: ignore[attr-defined]
+            finally_releases = fin_end == OK and not fin.failures
+            if finally_releases:
+                collected = []  # every exit inside the try passed the release
+                merged = OK if merged != DEAD else DEAD
+            else:
+                real = self._probe(stmt.finalbody, merged)
+                collected.extend(real.failures)
+                merged = real.end_state  # type: ignore[attr-defined]
+        self.failures.extend(collected)
+        for branch in branches:
+            if branch.last_trigger is not None:
+                self.last_trigger = branch.last_trigger
+        return merged
+
+
+def check_obligation(
+    body: Sequence[ast.stmt],
+    is_trigger: Predicate,
+    is_release: Predicate,
+    exit_ok: Optional[Callable[[ast.Return], bool]] = None,
+) -> List[ObligationFailure]:
+    """Check *trigger ⇒ release before every normal exit* over *body*.
+
+    Returns the failing exits (empty list = contract holds).  *exit_ok*
+    lets a rule bless specific ``return`` statements — REP010 uses it for
+    returns that transfer ownership of the created segment to the caller.
+    """
+    scanner = _Scanner(is_trigger, is_release, exit_ok)
+    end = scanner.scan(body, OK)
+    if end == ARMED:
+        anchor = scanner.last_trigger if scanner.last_trigger is not None else body[-1]
+        scanner.failures.append(
+            ObligationFailure(anchor, scanner.last_trigger, "fall-through")
+        )
+    return scanner.failures
+
+
+# -- flow-insensitive bindings ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One assignment reaching a local name (flow-insensitive)."""
+
+    #: The right-hand side (for ``for``/``with`` forms, the iterable or
+    #: context expression).
+    value: ast.expr
+    #: How the name was bound: ``assign`` | ``unpack`` | ``aug`` | ``ann``
+    #: | ``for`` | ``with``.
+    via: str
+    #: Position within a tuple-unpacking target, else ``None``.
+    elt_index: Optional[int] = None
+
+
+def collect_bindings(body: Sequence[ast.stmt]) -> Dict[str, List[Binding]]:
+    """Map every locally-bound name to the expressions that bind it.
+
+    This is the "reaching definitions" substrate the program rules share:
+    deliberately flow-insensitive (any def may reach any use), which errs
+    toward *more* taint — the right direction for hazard rules.
+    """
+    table: Dict[str, List[Binding]] = {}
+
+    def bind(name: str, binding: Binding) -> None:
+        table.setdefault(name, []).append(binding)
+
+    def bind_target(target: ast.expr, value: ast.expr, via: str) -> None:
+        if isinstance(target, ast.Name):
+            bind(target.id, Binding(value, via))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for i, elt in enumerate(target.elts):
+                if isinstance(elt, ast.Name):
+                    bind(elt.id, Binding(value, "unpack", elt_index=i))
+                elif isinstance(elt, ast.Starred) and isinstance(
+                    elt.value, ast.Name
+                ):
+                    bind(elt.value.id, Binding(value, "unpack", elt_index=i))
+
+    for root in body:
+        for node in walk_no_nested(root):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bind_target(target, node.value, "assign")
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                bind_target(node.target, node.value, "ann")
+            elif isinstance(node, ast.AugAssign):
+                bind_target(node.target, node.value, "aug")
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                bind_target(node.target, node.iter, "for")
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        bind_target(item.optional_vars, item.context_expr, "with")
+            elif isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                bind(node.target.id, Binding(node.value, "assign"))
+    return table

@@ -1,0 +1,385 @@
+"""Project symbol index and call graph for replint program rules.
+
+A :class:`ProgramIndex` is built **once** per ``check_paths`` run from the
+already-parsed :class:`~tools.replint.engine.FileContext` objects (the
+per-file AST cache means no file is read or parsed twice).  It records:
+
+* every module, class and function/method with a stable *qualname*
+  (``repro.topology.soa:ArrayOverlay.connect`` — module, colon, dotted
+  in-module path; files outside a ``src/`` root use their posix path as
+  the prefix),
+* textual base-class names, so rules can walk subclass closures without
+  importing anything,
+* a call graph: for each function, the calls it makes, resolved to
+  qualnames where the receiver type is statically evident (``self.``/
+  ``cls.`` methods, same-module and ``from``-imported functions,
+  locally-constructed instances like ``out = cls(...)`` or
+  ``h = SharedUnderlay(...)``, annotated parameters).
+
+Resolution is best-effort by design: an unresolved call keeps its textual
+name so rules can still pattern-match on it, and never aborts the build.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine import FileContext
+
+__all__ = ["CallSite", "ClassInfo", "FunctionInfo", "ProgramIndex"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    name: str
+    module: Optional[str]
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+    decorators: Set[str] = field(default_factory=set)
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def is_private(self) -> bool:
+        return self.name.startswith("_") and not self.name.startswith("__")
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its directly-defined methods."""
+
+    qualname: str
+    name: str
+    module: Optional[str]
+    path: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function."""
+
+    caller: str  # qualname of the enclosing function
+    node: ast.Call
+    name: str  # textual callee name (last dotted component)
+    callee: Optional[str] = None  # resolved qualname, when known
+    receiver_class: Optional[str] = None  # class name for method calls
+
+
+def _decorator_names(node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for dec in getattr(node, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _base_name(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Subscript):  # Generic[...] style bases
+        return _base_name(expr.value)
+    return None
+
+
+def _annotation_name(expr: Optional[ast.expr]) -> Optional[str]:
+    """Class name from a parameter annotation, unwrapping Optional/quotes."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        # String annotation: take the last identifier-ish token.
+        text = expr.value.strip().strip("'\"")
+        return text.split("[")[0].split(".")[-1] or None
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Subscript):
+        base = _annotation_name(expr.value)
+        if base in {"Optional", "Union"}:
+            inner = expr.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                return _annotation_name(inner.elts[0])
+            return _annotation_name(inner)  # type: ignore[arg-type]
+        return base
+    return None
+
+
+class ProgramIndex:
+    """Symbol table + call graph over a set of parsed files."""
+
+    def __init__(self) -> None:
+        self.files: Dict[str, "FileContext"] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        self.calls: List[CallSite] = []
+        self.calls_by_caller: Dict[str, List[CallSite]] = {}
+        self.callers_of: Dict[str, List[CallSite]] = {}
+        #: module name -> {top-level function name -> qualname}
+        self._module_functions: Dict[str, Dict[str, str]] = {}
+        #: per-file ``from``-import map: prefix -> {local name -> (module, symbol)}
+        self._imports: Dict[str, Dict[str, str]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, contexts: Sequence["FileContext"]) -> "ProgramIndex":
+        index = cls()
+        for ctx in contexts:
+            index._index_file(ctx)
+        for ctx in contexts:
+            index._extract_calls(ctx)
+        for site in index.calls:
+            index.calls_by_caller.setdefault(site.caller, []).append(site)
+            if site.callee is not None:
+                index.callers_of.setdefault(site.callee, []).append(site)
+        return index
+
+    def _prefix(self, ctx: "FileContext") -> str:
+        return ctx.module if ctx.module is not None else ctx.path.as_posix()
+
+    def _index_file(self, ctx: "FileContext") -> None:
+        prefix = self._prefix(ctx)
+        self.files[str(ctx.path)] = ctx
+        imports: Dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                module = node.module
+                if node.level and ctx.module:
+                    parts = ctx.module.split(".")
+                    # ``from .x import y`` inside package p.q -> p.x
+                    anchor = parts[: len(parts) - node.level]
+                    module = ".".join(anchor + [node.module])
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = f"{module}:{alias.name}"
+        self._imports[prefix] = imports
+
+        def register_function(
+            node: ast.AST, scope: List[str], class_name: Optional[str]
+        ) -> FunctionInfo:
+            dotted = ".".join(scope + [node.name])  # type: ignore[attr-defined]
+            info = FunctionInfo(
+                qualname=f"{prefix}:{dotted}",
+                name=node.name,  # type: ignore[attr-defined]
+                module=ctx.module,
+                path=str(ctx.path),
+                node=node,
+                class_name=class_name,
+                decorators=_decorator_names(node),
+            )
+            self.functions[info.qualname] = info
+            return info
+
+        def visit(body: Sequence[ast.stmt], scope: List[str], class_name: Optional[str]) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = register_function(stmt, scope, class_name)
+                    if class_name is None and not scope:
+                        self._module_functions.setdefault(prefix, {})[
+                            stmt.name
+                        ] = info.qualname
+                    if class_name is not None and len(scope) == 1:
+                        self.classes[f"{prefix}:{class_name}"].methods[
+                            stmt.name
+                        ] = info
+                    visit(stmt.body, scope + [stmt.name], None)
+                elif isinstance(stmt, ast.ClassDef):
+                    cinfo = ClassInfo(
+                        qualname=f"{prefix}:{'.'.join(scope + [stmt.name])}",
+                        name=stmt.name,
+                        module=ctx.module,
+                        path=str(ctx.path),
+                        node=stmt,
+                        bases=[
+                            b for b in (_base_name(e) for e in stmt.bases) if b
+                        ],
+                    )
+                    self.classes[cinfo.qualname] = cinfo
+                    self.classes_by_name.setdefault(stmt.name, []).append(cinfo)
+                    visit(stmt.body, scope + [stmt.name], stmt.name)
+
+        visit(ctx.tree.body, [], None)
+
+    # -- call extraction ----------------------------------------------------
+
+    def _extract_calls(self, ctx: "FileContext") -> None:
+        from .dataflow import walk_no_nested
+
+        for info in list(self.functions.values()):
+            if info.path != str(ctx.path):
+                continue
+            env = self._type_env(info)
+            # Nested defs are indexed as their own functions and extract
+            # their own calls, so fence them off here.
+            for node in walk_no_nested(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                site = self._resolve_call(ctx, info, env, node)
+                if site is not None:
+                    self.calls.append(site)
+
+    def _type_env(self, info: FunctionInfo) -> Dict[str, str]:
+        """Local variable -> class-name map from annotations and constructor
+        assignments (flow-insensitive; last writer wins is fine here)."""
+        env: Dict[str, str] = {}
+        node = info.node
+        args = getattr(node, "args", None)
+        if info.class_name is not None:
+            env["self"] = info.class_name
+            env["cls"] = info.class_name
+        if args is not None:
+            all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            for arg in all_args:
+                name = _annotation_name(arg.annotation)
+                if name and name in self.classes_by_name:
+                    env[arg.arg] = name
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Assign) or not isinstance(sub.value, ast.Call):
+                continue
+            func = sub.value.func
+            target_class: Optional[str] = None
+            if isinstance(func, ast.Name):
+                if func.id in self.classes_by_name:
+                    target_class = func.id
+                elif func.id == "cls" and info.class_name is not None:
+                    target_class = info.class_name
+            elif isinstance(func, ast.Attribute) and func.attr in self.classes_by_name:
+                target_class = func.attr
+            if target_class is None:
+                continue
+            for target in sub.targets:
+                if isinstance(target, ast.Name):
+                    env[target.id] = target_class
+        return env
+
+    def _resolve_call(
+        self,
+        ctx: "FileContext",
+        info: FunctionInfo,
+        env: Dict[str, str],
+        node: ast.Call,
+    ) -> Optional[CallSite]:
+        prefix = self._prefix(ctx)
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            callee = self._module_functions.get(prefix, {}).get(name)
+            if callee is None:
+                imported = self._imports.get(prefix, {}).get(name)
+                if imported and ":" in imported:
+                    mod, symbol = imported.split(":", 1)
+                    callee = self._module_functions.get(mod, {}).get(symbol)
+                    if callee is None and f"{mod}:{symbol}" in self.classes:
+                        callee = f"{mod}:{symbol}"
+            if callee is None and name in self.classes_by_name:
+                candidates = self.classes_by_name[name]
+                same = [c for c in candidates if c.path == str(ctx.path)]
+                callee = (same[0] if same else candidates[0]).qualname
+            return CallSite(info.qualname, node, name, callee)
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            receiver = func.value
+            if isinstance(receiver, ast.Name):
+                rname = receiver.id
+                if rname in env:
+                    cls_name = env[rname]
+                    method = self.resolve_method(cls_name, name, near=str(ctx.path))
+                    return CallSite(
+                        info.qualname,
+                        node,
+                        name,
+                        method.qualname if method else None,
+                        receiver_class=cls_name,
+                    )
+                imported = self._imports.get(prefix, {}).get(rname)
+                if imported and ":" not in imported:
+                    callee = self._module_functions.get(imported, {}).get(name)
+                    return CallSite(info.qualname, node, name, callee)
+            return CallSite(info.qualname, node, name)
+        return CallSite(info.qualname, node, "<dynamic>")
+
+    # -- queries ------------------------------------------------------------
+
+    def resolve_method(
+        self, class_name: str, method: str, near: Optional[str] = None
+    ) -> Optional[FunctionInfo]:
+        """Find *method* on *class_name* or its textual-base ancestors."""
+        seen: Set[str] = set()
+
+        def lookup(name: str) -> Optional[FunctionInfo]:
+            if name in seen:
+                return None
+            seen.add(name)
+            candidates = self.classes_by_name.get(name, [])
+            if near is not None:
+                candidates = sorted(
+                    candidates, key=lambda c: 0 if c.path == near else 1
+                )
+            for cinfo in candidates:
+                if method in cinfo.methods:
+                    return cinfo.methods[method]
+            for cinfo in candidates:
+                for base in cinfo.bases:
+                    found = lookup(base)
+                    if found is not None:
+                        return found
+            return None
+
+        return lookup(class_name)
+
+    def subclasses_of(self, *names: str) -> List[ClassInfo]:
+        """Classes whose textual base chain reaches any of *names*
+        (the named classes themselves included when indexed)."""
+        wanted = set(names)
+        out: List[ClassInfo] = []
+        for cinfo in self.classes.values():
+            if cinfo.name in wanted or self._inherits(cinfo, wanted, set()):
+                out.append(cinfo)
+        return sorted(out, key=lambda c: c.qualname)
+
+    def _inherits(self, cinfo: ClassInfo, wanted: Set[str], seen: Set[str]) -> bool:
+        for base in cinfo.bases:
+            if base in wanted:
+                return True
+            if base in seen:
+                continue
+            seen.add(base)
+            for parent in self.classes_by_name.get(base, []):
+                if self._inherits(parent, wanted, seen):
+                    return True
+        return False
+
+    def iter_functions(self, module_prefix: Optional[str] = None) -> Iterator[FunctionInfo]:
+        """All indexed functions, optionally restricted to modules whose
+        dotted name starts with *module_prefix*."""
+        for info in sorted(self.functions.values(), key=lambda f: f.qualname):
+            if module_prefix is not None:
+                if info.module is None or not (
+                    info.module == module_prefix
+                    or info.module.startswith(module_prefix + ".")
+                ):
+                    continue
+            yield info
+
+    def context_for(self, info: FunctionInfo) -> "FileContext":
+        return self.files[info.path]

@@ -15,25 +15,41 @@ REP007    batched-queries         experiments batch query propagation through
                                   repro.search.batch, never loop the scalar engine
 REP008    soa-hygiene             engine hot paths never scan peers one Python
                                   object at a time; bulk/array APIs instead
+REP009    rng-streams             SeedSequence.spawn() children are consumed in
+                                  order, once, in range, by their allocator
+REP010    shm-lifecycle           exported shared segments reach unlink() on all
+                                  paths; attachers never unlink
+REP011    version-bump            structural mutation bumps _epoch/_state_version
+                                  on every return path
+REP012    float-order             no order-dependent float reductions over sets in
+                                  simulation decision logic
+REP013    suppression-hygiene     every disable pragma carries a justification
 ========  ======================  =====================================================
 
 ``REP000`` is reserved for parse errors (emitted by the engine, not a rule).
-Each invariant is documented in ``docs/STATIC_ANALYSIS.md``.
+REP009–REP011 are :class:`~tools.replint.engine.ProgramRule` subclasses and
+run over the whole-program index; the rest are per-file.  Each invariant is
+documented in ``docs/STATIC_ANALYSIS.md``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Union
 
-from ..engine import Rule
+from ..engine import ProgramRule, Rule
 from .batched_queries import BatchedQueriesRule
 from .cache_coherence import CacheCoherenceRule
 from .determinism import DeterminismRule
+from .float_order import FloatOrderRule
 from .layering import LayeringRule
 from .no_topology_pickling import NoTopologyPicklingRule
 from .oracle_seam import OracleSeamRule
 from .perf_hygiene import PerfHygieneRule
+from .rng_streams import RngStreamsRule
+from .shm_lifecycle import ShmLifecycleRule
 from .soa_hygiene import SoaHygieneRule
+from .suppression_hygiene import SuppressionHygieneRule
+from .version_bump import VersionBumpRule
 
 __all__ = [
     "DeterminismRule",
@@ -44,12 +60,19 @@ __all__ = [
     "OracleSeamRule",
     "BatchedQueriesRule",
     "SoaHygieneRule",
+    "RngStreamsRule",
+    "ShmLifecycleRule",
+    "VersionBumpRule",
+    "FloatOrderRule",
+    "SuppressionHygieneRule",
     "default_rules",
     "rules_by_code",
 ]
 
+AnyRule = Union[Rule, ProgramRule]
 
-def default_rules() -> List[Rule]:
+
+def default_rules() -> List[AnyRule]:
     """One instance of every shipped rule, in code order."""
     return [
         DeterminismRule(),
@@ -60,9 +83,14 @@ def default_rules() -> List[Rule]:
         OracleSeamRule(),
         BatchedQueriesRule(),
         SoaHygieneRule(),
+        RngStreamsRule(),
+        ShmLifecycleRule(),
+        VersionBumpRule(),
+        FloatOrderRule(),
+        SuppressionHygieneRule(),
     ]
 
 
-def rules_by_code() -> Dict[str, Rule]:
+def rules_by_code() -> Dict[str, AnyRule]:
     """Map ``REP00x`` codes to fresh rule instances."""
     return {rule.code: rule for rule in default_rules()}

@@ -1,0 +1,219 @@
+"""REP009 — SeedSequence spawn-stream discipline.
+
+Every stream in a run is pinned to a position in the seed tree:
+``SeedSequence(seed).spawn(n)[i]`` is child *i*, and the repo's
+byte-identity guarantees rest on every consumer drawing from its own
+child, allocated once, in order (``spawn(5)[:4] == spawn(4)``, so
+*appending* streams is safe; *reordering* or *re-spawning* is not).  This
+rule taints ``SeedSequence`` values and the child lists ``.spawn()``
+returns, then flags the consumption patterns that silently perturb the
+pinned draw order:
+
+* ``REP009/out-of-range`` — ``ss.spawn(n)[i]`` with a literal ``i >= n``
+  (an ``IndexError`` at best, a miscounted stream budget at worst),
+* ``REP009/re-spawn`` — calling ``.spawn()`` twice on the same
+  ``SeedSequence`` value: spawning is **stateful** (``spawn_key``
+  advances), so the second call hands out different children than the
+  same expression would in a fresh process,
+* ``REP009/out-of-order`` — first uses of ``children[i]`` with literal
+  indices that decrease (consuming child 3 before child 1 reorders the
+  generators relative to the allocation plan, the exact hazard the
+  in-order ``spawn(4)`` idiom in ``repro.experiments.setup`` exists to
+  prevent),
+* ``REP009/double-use`` — consuming the same literal child twice (two
+  generators over one stream means correlated draws),
+* ``REP009/cross-function`` — ``.spawn()`` on a function **parameter**:
+  stream allocation belongs to the function that owns the seed tree;
+  spawning a sequence someone passed in splits the allocation across
+  call sites where the order can no longer be checked (pass the spawned
+  children, or a derived ``Generator``, instead).
+
+Scoped to ``repro`` source modules; runs on the program index so the
+taint can use the call graph's view of locally-constructed values.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..engine import ProgramRule, Violation
+from ..program import FunctionInfo, ProgramIndex
+from ..program.dataflow import collect_bindings, walk_no_nested
+
+
+def _is_seedseq_ctor(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and (
+            (isinstance(node.func, ast.Name) and node.func.id == "SeedSequence")
+            or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "SeedSequence"
+            )
+        )
+    )
+
+
+def _literal_int(node: ast.expr) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _spawn_call(node: ast.expr) -> Optional[ast.Call]:
+    """The ``<x>.spawn(...)`` call node, if *node* is one."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "spawn"
+    ):
+        return node
+    return None
+
+
+class RngStreamsRule(ProgramRule):
+    """Flag seed-stream consumption that perturbs the pinned draw order."""
+
+    code = "REP009"
+    name = "rng-streams"
+    description = (
+        "SeedSequence.spawn() children must be consumed in spawn order, "
+        "exactly once, within range, by the function that allocated them; "
+        "re-spawning or cross-function spawning reorders pinned streams"
+    )
+
+    def check_program(self, program: ProgramIndex) -> Iterable[Violation]:
+        for info in program.iter_functions("repro"):
+            ctx = program.context_for(info)
+            for violation in self._check_function(info):
+                yield Violation(
+                    path=str(ctx.path),
+                    line=violation[0].lineno,
+                    col=violation[0].col_offset + 1,
+                    code=self.code,
+                    message=violation[1],
+                )
+
+    # -- per-function analysis ----------------------------------------------
+
+    def _check_function(
+        self, info: FunctionInfo
+    ) -> Iterable[Tuple[ast.expr, str]]:
+        node = info.node
+        body = getattr(node, "body", [])
+        bindings = collect_bindings(body)
+
+        # Names bound to SeedSequence values (constructed locally).
+        seedseq_names: Set[str] = set()
+        # Names bound to a spawn() result, with the literal child count
+        # (None when the count is not a literal).
+        child_lists: Dict[str, Optional[int]] = {}
+        for name, binds in bindings.items():
+            for binding in binds:
+                if binding.via not in ("assign", "ann", "with"):
+                    continue
+                if _is_seedseq_ctor(binding.value):
+                    seedseq_names.add(name)
+                spawn = _spawn_call(binding.value)
+                if spawn is not None:
+                    count = (
+                        _literal_int(spawn.args[0]) if spawn.args else None
+                    )
+                    child_lists[name] = count
+
+        params = {
+            arg.arg
+            for args in [getattr(node, "args", None)]
+            if args is not None
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+        }
+
+        spawned_names: Set[str] = set()
+        #: first-use literal index per child-list name, in source order.
+        uses: Dict[str, List[Tuple[int, ast.expr]]] = {}
+
+        ordered_nodes = sorted(
+            (
+                n
+                for n in walk_no_nested(node)
+                if hasattr(n, "lineno")
+            ),
+            key=lambda n: (n.lineno, n.col_offset),
+        )
+        for sub in ordered_nodes:
+            spawn = _spawn_call(sub) if isinstance(sub, ast.expr) else None
+            if spawn is not None:
+                receiver = spawn.func.value  # type: ignore[union-attr]
+                # Direct subscript on a fresh spawn: range check.
+                if isinstance(receiver, ast.Name):
+                    rname = receiver.id
+                    if rname in params:
+                        yield (
+                            spawn,
+                            f"spawn() on parameter '{rname}' splits seed-"
+                            f"stream allocation across functions; allocate "
+                            f"children where the SeedSequence is built and "
+                            f"pass them (or derived Generators) down",
+                        )
+                    elif rname in seedseq_names:
+                        if rname in spawned_names:
+                            yield (
+                                spawn,
+                                f"second spawn() on SeedSequence '{rname}': "
+                                f"spawning is stateful, so repeated calls "
+                                f"hand out different children than a single "
+                                f"spawn(n) would; widen the first spawn "
+                                f"instead",
+                            )
+                        spawned_names.add(rname)
+            if isinstance(sub, ast.Subscript):
+                base = sub.value
+                index = _literal_int(sub.slice)  # 3.9+: slice is a plain expr
+                if index is None:
+                    continue
+                # spawn(n)[i] inline.
+                spawn = _spawn_call(base)
+                if spawn is not None and spawn.args:
+                    count = _literal_int(spawn.args[0])
+                    if count is not None and index >= count:
+                        yield (
+                            sub,
+                            f"child index {index} out of range for "
+                            f"spawn({count}); streams are pinned 0..{count - 1}",
+                        )
+                    continue
+                if isinstance(base, ast.Name) and base.id in child_lists:
+                    count = child_lists[base.id]
+                    if count is not None and index >= count:
+                        yield (
+                            sub,
+                            f"child index {index} out of range for "
+                            f"'{base.id}' = spawn({count}); streams are "
+                            f"pinned 0..{count - 1}",
+                        )
+                        continue
+                    uses.setdefault(base.id, []).append((index, sub))
+
+        for name, indexed in uses.items():
+            seen: Set[int] = set()
+            highest = -1
+            for index, sub in indexed:
+                if index in seen:
+                    yield (
+                        sub,
+                        f"seed child '{name}[{index}]' consumed twice; two "
+                        f"generators over one stream draw correlated values",
+                    )
+                    continue
+                seen.add(index)
+                if index < highest:
+                    yield (
+                        sub,
+                        f"seed child '{name}[{index}]' consumed after "
+                        f"'{name}[{highest}]'; children must be consumed in "
+                        f"spawn order so stream positions stay pinned",
+                    )
+                highest = max(highest, index)

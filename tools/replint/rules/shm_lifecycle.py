@@ -1,0 +1,399 @@
+"""REP010 — shared-memory segments are unlinked on every path, by their owner.
+
+POSIX shared memory outlives the process: a ``SharedMemory(create=True)``
+segment that nobody ``unlink()``s stays in ``/dev/shm`` until reboot.  The
+repo's ownership contract (``repro.topology.shm``) is:
+
+* the **exporter** owns the segment and must reach ``unlink()`` on every
+  path — a ``try``/``finally``, a context manager (``SharedSegments`` is
+  one), or by *transferring* ownership (returning the handle, storing it
+  in a registry, passing it to another function);
+* **attachers** (``attach_shared``/``attach_array``/plain
+  ``SharedMemory(name=...)``) map someone else's segment and must *never*
+  unlink it — only close.
+
+This rule walks every ``repro`` function in the program index.  Creation
+sites (``export_shared()``, ``export_arrays()``, ``SharedUnderlay``/
+``SharedSegments``/``SharedEmbedding`` construction, ``SharedMemory(...,
+create=True)``, and calls into in-repo functions that *return* fresh
+owners) bind local owner names; the all-paths dataflow scanner then
+demands an ``unlink`` — directly, through an alias, or via a cleanup loop
+over an owner container — before every return that does not transfer the
+owner out.  A creation whose result is dropped on the floor (a bare
+expression statement) is flagged immediately.  Conversely, any
+``.unlink()`` on an attach-derived name is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..engine import ProgramRule, Violation
+from ..program import FunctionInfo, ProgramIndex
+from ..program.dataflow import check_obligation, collect_bindings, walk_no_nested
+
+#: Calls (by trailing name) that create an *owned* segment.
+_CREATOR_NAMES = {
+    "export_shared",
+    "export_arrays",
+    "SharedUnderlay",
+    "SharedSegments",
+    "SharedEmbedding",
+}
+
+#: Calls (by trailing name) that attach to someone else's segment.
+_ATTACH_NAMES = {"attach_shared", "attach_array"}
+
+
+def _trailing_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _mentions(node: Optional[ast.AST], names: Set[str]) -> bool:
+    if node is None:
+        return False
+    return any(
+        isinstance(n, ast.Name) and n.id in names for n in walk_no_nested(node)
+    )
+
+
+class ShmLifecycleRule(ProgramRule):
+    """Flag owner segments that can leak and attachers that unlink."""
+
+    code = "REP010"
+    name = "shm-lifecycle"
+    description = (
+        "every export_shared()/SharedUnderlay/SharedMemory(create=True) "
+        "owner must reach unlink() on all paths (finally/context manager) "
+        "or transfer ownership out; attachers must never unlink"
+    )
+
+    def check_program(self, program: ProgramIndex) -> Iterable[Violation]:
+        owner_sources = self._owner_source_functions(program)
+        for info in program.iter_functions("repro"):
+            ctx = program.context_for(info)
+            for node, message in self._check_function(program, info, owner_sources):
+                yield Violation(
+                    path=str(ctx.path),
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    code=self.code,
+                    message=message,
+                )
+
+    # -- creation classification --------------------------------------------
+
+    def _is_creator_call(
+        self,
+        node: ast.Call,
+        resolved: Dict[ast.Call, Optional[str]],
+        owner_sources: Set[str],
+    ) -> bool:
+        name = _trailing_name(node.func)
+        if name in _CREATOR_NAMES:
+            return True
+        if name == "SharedMemory":
+            for kw in node.keywords:
+                if kw.arg == "create" and (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is True
+                ):
+                    return True
+            return False
+        callee = resolved.get(node)
+        return callee is not None and callee in owner_sources
+
+    def _is_attach_call(self, node: ast.Call) -> bool:
+        name = _trailing_name(node.func)
+        if name in _ATTACH_NAMES:
+            return True
+        if name == "SharedMemory":
+            return not any(kw.arg == "create" for kw in node.keywords)
+        return False
+
+    def _owner_source_functions(self, program: ProgramIndex) -> Set[str]:
+        """Functions whose return value carries a freshly-created owner.
+
+        One local pass: the function contains a creator call, and some
+        ``return`` mentions a name the creation (or a container holding
+        it) was bound to, or returns a creation directly.  Calls to these
+        then count as creations at *their* call sites.
+        """
+        sources: Set[str] = set()
+        for info in program.iter_functions("repro"):
+            body = getattr(info.node, "body", [])
+            creations = [
+                n
+                for n in walk_no_nested(info.node)
+                if isinstance(n, ast.Call)
+                and (
+                    _trailing_name(n.func) in _CREATOR_NAMES
+                    or (
+                        _trailing_name(n.func) == "SharedMemory"
+                        and any(kw.arg == "create" for kw in n.keywords)
+                    )
+                )
+            ]
+            if not creations:
+                continue
+            tainted = self._owner_names(body, set(creations))
+            for node in walk_no_nested(info.node):
+                if not isinstance(node, ast.Return) or node.value is None:
+                    continue
+                if _mentions(node.value, tainted) or any(
+                    c in set(walk_no_nested(node.value)) for c in creations
+                ):
+                    sources.add(info.qualname)
+                    break
+        return sources
+
+    def _owner_names(
+        self, body: List[ast.stmt], creations: Set[ast.Call]
+    ) -> Set[str]:
+        """Names bound to a creation, plus containers they are stored in."""
+        owners: Set[str] = set()
+        bindings = collect_bindings(body)
+        for name, binds in bindings.items():
+            for binding in binds:
+                if binding.value in creations or (
+                    isinstance(binding.value, ast.Call)
+                    and binding.value in creations
+                ):
+                    owners.add(name)
+        # containers: local[key] = <owner or creation>
+        for root in body:
+            for node in walk_no_nested(root):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in bindings
+                        and (
+                            node.value in creations
+                            or _mentions(node.value, owners)
+                        )
+                    ):
+                        owners.add(target.value.id)
+        return owners
+
+    # -- per-function check -------------------------------------------------
+
+    def _check_function(
+        self,
+        program: ProgramIndex,
+        info: FunctionInfo,
+        owner_sources: Set[str],
+    ) -> Iterable[Tuple[ast.AST, str]]:
+        if info.qualname in owner_sources:
+            # The function hands its creations to the caller; the call
+            # sites carry the obligation instead.
+            transfer_via_return = True
+        else:
+            transfer_via_return = True  # returns mentioning the owner always transfer
+        body = getattr(info.node, "body", [])
+        if not body:
+            return
+        resolved: Dict[ast.Call, Optional[str]] = {
+            site.node: site.callee
+            for site in program.calls_by_caller.get(info.qualname, [])
+        }
+        parents: Dict[ast.AST, ast.AST] = {}
+        for parent in walk_no_nested(info.node):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+
+        bindings = collect_bindings(body)
+
+        owners: Dict[str, List[ast.Call]] = {}
+        attach_names: Set[str] = set()
+        for name, binds in bindings.items():
+            for binding in binds:
+                if isinstance(binding.value, ast.Call) and self._is_attach_call(
+                    binding.value
+                ):
+                    attach_names.add(name)
+
+        for node in walk_no_nested(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_creator_call(node, resolved, owner_sources):
+                continue
+            placement = self._placement(node, parents)
+            if placement is None:
+                continue  # transferred at the creation site itself
+            kind, name_or_stmt = placement
+            if kind == "leak":
+                yield (
+                    node,
+                    f"'{_trailing_name(node.func)}(...)' creates an owned "
+                    f"shared segment whose handle is dropped; bind it and "
+                    f"unlink on all paths (or use the context manager)",
+                )
+            elif kind == "owner":
+                owners.setdefault(name_or_stmt, []).append(node)
+
+        for owner, creations in sorted(owners.items()):
+            yield from self._check_owner(
+                info, body, bindings, owner, creations, transfer_via_return
+            )
+
+        # Attachers must never unlink.
+        attach_aliases = self._aliases(bindings, attach_names)
+        for node in walk_no_nested(info.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "unlink"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in attach_aliases
+            ):
+                yield (
+                    node,
+                    f"'{node.func.value.id}' attaches to a segment owned by "
+                    f"another process; attachers must close(), never "
+                    f"unlink() — the exporter owns the segment's lifetime",
+                )
+
+    def _placement(
+        self, node: ast.Call, parents: Dict[ast.AST, ast.AST]
+    ) -> Optional[Tuple[str, str]]:
+        """How a creation's result is captured.
+
+        ``None``
+            transferred right at the creation site (returned, yielded,
+            passed as an argument, stored into an attribute or non-local
+            subscript, used as a context manager) — no local obligation;
+        ``("owner", name)``
+            bound to local *name* (including tuple unpacking), which now
+            owes an ``unlink`` on all paths;
+        ``("leak", "")``
+            a bare expression statement: the handle is unrecoverable.
+        """
+        child: ast.AST = node
+        parent = parents.get(child)
+        while parent is not None:
+            if isinstance(parent, ast.Call) and child is not parent.func:
+                return None  # argument position: ownership handed over
+            if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+                return None
+            if isinstance(parent, ast.withitem):
+                return None  # context manager handles the lifecycle
+            if isinstance(parent, ast.Assign):
+                names: List[str] = []
+                transferred = False
+                for target in parent.targets:
+                    if isinstance(target, ast.Name):
+                        names.append(target.id)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        names.extend(
+                            e.id for e in target.elts if isinstance(e, ast.Name)
+                        )
+                    else:
+                        transferred = True  # attribute / subscript store
+                if names:
+                    # Tuple unpacking can bind several names; charge the
+                    # first (the conventions put the handle first) — the
+                    # alias machinery picks up the rest.
+                    return ("owner", names[0])
+                if transferred:
+                    return None
+            if isinstance(parent, ast.Expr):
+                return ("leak", "")
+            child, parent = parent, parents.get(parent)
+        return ("leak", "")
+
+    def _aliases(
+        self, bindings: Dict[str, List["object"]], roots: Set[str]
+    ) -> Set[str]:
+        out = set(roots)
+        for name, binds in bindings.items():
+            if name in out:
+                continue
+            for binding in binds:
+                if _mentions(binding.value, roots):  # type: ignore[attr-defined]
+                    out.add(name)
+                    break
+        return out
+
+    def _check_owner(
+        self,
+        info: FunctionInfo,
+        body: List[ast.stmt],
+        bindings: Dict[str, List["object"]],
+        owner: str,
+        creations: List[ast.Call],
+        transfer_via_return: bool,
+    ) -> Iterable[Tuple[ast.AST, str]]:
+        aliases = self._aliases(bindings, {owner})
+        creation_set = set(creations)
+
+        def is_trigger(node: ast.AST) -> bool:
+            return node in creation_set
+
+        def is_release(node: ast.AST) -> bool:
+            # seg.unlink() on the owner or an alias.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "unlink"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in aliases
+            ):
+                return True
+            # Ownership transfer: the owner passed as an argument ...
+            if isinstance(node, ast.Call) and not (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in aliases
+            ):
+                if any(_mentions(arg, aliases) for arg in node.args) or any(
+                    _mentions(kw.value, aliases) for kw in node.keywords
+                ):
+                    return True
+            # ... stored into an attribute or a non-local subscript ...
+            if isinstance(node, ast.Assign) and _mentions(node.value, aliases):
+                for target in node.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        return True
+            # ... or yielded out.
+            if isinstance(node, (ast.Yield, ast.YieldFrom)) and _mentions(
+                getattr(node, "value", None), aliases
+            ):
+                return True
+            # Cleanup loop over an owner container: the whole loop is one
+            # release unit (see dataflow._scan_loop).
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _mentions(node.iter, aliases) and any(
+                    isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)
+                    and n.func.attr == "unlink"
+                    for s in node.body
+                    for n in walk_no_nested(s)
+                ):
+                    return True
+            return False
+
+        def exit_ok(ret: ast.Return) -> bool:
+            return transfer_via_return and _mentions(ret.value, aliases)
+
+        failures = check_obligation(body, is_trigger, is_release, exit_ok)
+        for failure in failures:
+            anchor = failure.trigger if failure.trigger is not None else creations[0]
+            where = getattr(failure.exit_node, "lineno", None)
+            detail = (
+                f"the return at line {where} is reached"
+                if failure.kind == "return" and where is not None
+                else "the end of the function is reached"
+            )
+            yield (
+                anchor,
+                f"owned shared segment '{owner}' may leak: {detail} without "
+                f"unlink() or an ownership transfer; wrap the lifetime in "
+                f"try/finally or the SharedSegments context manager",
+            )

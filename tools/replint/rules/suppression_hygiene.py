@@ -1,0 +1,58 @@
+"""REP013 — every suppression pragma must say why.
+
+A ``# replint: disable=...`` comment is a standing exception to a repo
+invariant; six months later the only thing that keeps it honest is the
+justification written next to it.  This rule requires non-empty free text
+after the code list::
+
+    ok:   # replint: disable=REP004 — served from the just-warmed cache
+    bad:  # replint: disable=REP004
+
+The findings of this rule are **not themselves suppressible**: a bare
+``# replint: disable`` would otherwise silence the very rule that audits
+it.  Fix the pragma (or use ``--show-suppressions`` to review the whole
+inventory).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..engine import FileContext, Rule, Violation
+
+
+class SuppressionHygieneRule(Rule):
+    """Flag ``replint: disable`` pragmas with no justification text."""
+
+    code = "REP013"
+    name = "suppression-hygiene"
+    description = (
+        "every '# replint: disable[-file]=' pragma must carry a written "
+        "justification after the code list; audit the inventory with "
+        "--show-suppressions"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for record in ctx.suppressions.records:
+            if record.justification:
+                continue
+            codes = ",".join(sorted(record.codes))
+            directive = "disable-file" if record.kind == "file" else "disable"
+            yield Violation(
+                path=str(ctx.path),
+                line=record.pragma_line,
+                col=1,
+                code=self.code,
+                message=(
+                    f"suppression 'replint: {directive}={codes}' has no "
+                    f"justification; add one after the code list "
+                    f"(e.g. '... {codes} — reason')"
+                ),
+            )
+
+    def run(self, ctx: FileContext) -> List[Violation]:
+        # Deliberately bypass the suppression filter: this rule polices the
+        # pragmas themselves, so they must not be able to silence it.
+        if not self.applies_to(ctx):
+            return []
+        return list(self.check(ctx))

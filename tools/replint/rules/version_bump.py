@@ -1,0 +1,391 @@
+"""REP011 — structural mutation implies a version bump, on every path.
+
+The compiled forwarding graphs (PR 5) and the flat ACE store (PR 6) are
+caches keyed by ``Overlay.epoch`` / ``AceProtocol`` ``state_version``.  A
+method that mutates tracked structure but returns without bumping the
+counter leaves a stale compiled graph looking fresh — the bug class that
+no test catches until a query routes over an edge that no longer exists.
+
+Contracts (a class named below, or any textual subclass of it):
+
+========== ============================== ======================
+Class      Tracked structure              Version counter
+========== ============================== ======================
+Overlay    ``self._adjacency``/``_hosts`` ``self._epoch``
+ArrayOverlay ``self._index``/``_nedges``  ``self._epoch``
+AceProtocol ``self._states`` + calls to   ``self._state_version``
+            ``self._flat.put/.drop``
+========== ============================== ======================
+
+*Mutation* means element-level change — subscript assignment/deletion,
+augmented assignment, mutator method calls (``add``/``discard``/``pop``/
+``update``/…), directly or through a one-level local alias.  Rebinding the
+whole attribute (``self._index = fresh``) is the constructor/rebuild idiom
+and is not tracked; cost backfill into value arrays is not structure.
+
+The all-paths scanner accepts two idioms besides a plain bump-after-
+mutate: the *bump-iff-changed* guard (``if self._flat.drop(p):
+self._state_version += 1`` — the falsy branch means nothing changed) and
+``finally`` blocks.  A **private** helper that mutates without bumping is
+accepted when every in-index caller bumps (or is itself such a helper,
+transitively) — that is how ``_new_slot`` stays an implementation detail
+of ``add_peer``.  Public methods must satisfy the contract themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..engine import ProgramRule, Violation
+from ..program import ClassInfo, FunctionInfo, ProgramIndex
+from ..program.dataflow import check_obligation, collect_bindings, walk_no_nested
+
+_MUTATOR_METHODS = {
+    "add",
+    "append",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+
+@dataclass(frozen=True)
+class _Contract:
+    classes: Tuple[str, ...]
+    tracked_attrs: Tuple[str, ...]
+    version_attrs: Tuple[str, ...]
+    #: attribute -> method names whose *call* is a tracked mutation
+    mutating_calls: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
+_CONTRACTS: Tuple[_Contract, ...] = (
+    _Contract(
+        classes=("Overlay",),
+        tracked_attrs=("_adjacency", "_hosts"),
+        version_attrs=("_epoch",),
+    ),
+    _Contract(
+        classes=("ArrayOverlay",),
+        tracked_attrs=("_index", "_nedges"),
+        version_attrs=("_epoch",),
+    ),
+    _Contract(
+        classes=("AceProtocol",),
+        tracked_attrs=("_states",),
+        version_attrs=("_state_version",),
+        mutating_calls={"_flat": ("put", "drop")},
+    ),
+)
+
+#: Methods never checked: construction fills structure before the object
+#: is visible, so there is no cache to invalidate yet.
+_EXEMPT_METHODS = {"__init__", "__new__", "__setstate__"}
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.X`` -> ``X`` (possibly through one subscript layer)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class VersionBumpRule(ProgramRule):
+    """Flag tracked mutations that can return without a version bump."""
+
+    code = "REP011"
+    name = "version-bump"
+    description = (
+        "methods mutating Overlay/ArrayOverlay adjacency or AceProtocol "
+        "state membership must bump _epoch/_state_version on every return "
+        "path; compiled-graph and flat-store caches key on those counters"
+    )
+
+    def check_program(self, program: ProgramIndex) -> Iterable[Violation]:
+        plans = self._method_plans(program)
+        verdicts: Dict[str, Optional[bool]] = {}
+        for qualname in sorted(plans):
+            self._verdict(qualname, plans, program, verdicts)
+        for qualname in sorted(plans):
+            plan = plans[qualname]
+            if verdicts.get(qualname) or not plan.failures:
+                continue
+            for anchor, detail in plan.failures:
+                yield Violation(
+                    path=plan.info.path,
+                    line=anchor.lineno,
+                    col=anchor.col_offset + 1,
+                    code=self.code,
+                    message=(
+                        f"{plan.class_name}.{plan.info.name}() mutates "
+                        f"tracked structure but {detail} without bumping "
+                        f"{' or '.join(plan.contract.version_attrs)}; stale "
+                        f"compiled-graph caches would key on the old version"
+                    ),
+                )
+
+    # -- planning -----------------------------------------------------------
+
+    def _contract_for(self, program: ProgramIndex, cinfo: ClassInfo) -> Optional[_Contract]:
+        """Most-specific contract for *cinfo* (own name first, then bases)."""
+        by_class = {name: c for c in _CONTRACTS for name in c.classes}
+        if cinfo.name in by_class:
+            return by_class[cinfo.name]
+        seen: Set[str] = set()
+        frontier = list(cinfo.bases)
+        while frontier:
+            base = frontier.pop(0)
+            if base in seen:
+                continue
+            seen.add(base)
+            if base in by_class:
+                return by_class[base]
+            for parent in program.classes_by_name.get(base, []):
+                frontier.extend(parent.bases)
+        return None
+
+    def _method_plans(self, program: ProgramIndex) -> Dict[str, "_Plan"]:
+        plans: Dict[str, _Plan] = {}
+        for cinfo in program.classes.values():
+            contract = self._contract_for(program, cinfo)
+            if contract is None:
+                continue
+            for mname, minfo in cinfo.methods.items():
+                if mname in _EXEMPT_METHODS:
+                    continue
+                failures = self._scan_method(minfo, contract)
+                if failures is None:
+                    continue  # no tracked mutations at all
+                plans[minfo.qualname] = _Plan(
+                    info=minfo,
+                    class_name=cinfo.name,
+                    contract=contract,
+                    failures=failures,
+                )
+        return plans
+
+    def _scan_method(
+        self, minfo: FunctionInfo, contract: _Contract
+    ) -> Optional[List[Tuple[ast.AST, str]]]:
+        node = minfo.node
+        body = getattr(node, "body", [])
+        if not body:
+            return None
+        tracked = set(contract.tracked_attrs)
+        versions = set(contract.version_attrs)
+
+        # One-level aliases: x = self._adjacency / x = self._extra[i] etc.
+        aliases: Dict[str, str] = {}
+        for name, binds in collect_bindings(body).items():
+            for binding in binds:
+                attr = _self_attr(binding.value)
+                if attr in tracked:
+                    aliases[name] = attr
+
+        def mutated_attr(n: ast.AST) -> Optional[str]:
+            """Tracked attribute mutated by *n*, if any."""
+
+            def receiver_attr(expr: ast.expr) -> Optional[str]:
+                attr = _self_attr(expr)
+                if attr in tracked:
+                    return attr
+                base = expr
+                if isinstance(base, ast.Subscript):
+                    base = base.value
+                if isinstance(base, ast.Name) and base.id in aliases:
+                    return aliases[base.id]
+                return None
+
+            if isinstance(n, (ast.Assign, ast.AnnAssign)):
+                targets = n.targets if isinstance(n, ast.Assign) else [n.target]
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = receiver_attr(target)
+                        if attr is not None:
+                            return attr
+                return None
+            if isinstance(n, ast.AugAssign):
+                if isinstance(n.target, (ast.Subscript, ast.Attribute)):
+                    attr = receiver_attr(n.target)
+                    # ``self._nedges[i] += 1`` and ``self._nedges += 1``
+                    if attr is None and isinstance(n.target, ast.Attribute):
+                        attr = _self_attr(n.target)
+                        attr = attr if attr in tracked else None
+                    return attr
+                return None
+            if isinstance(n, ast.Delete):
+                for target in n.targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = receiver_attr(target)
+                        if attr is not None:
+                            return attr
+                return None
+            if isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute):
+                if n.func.attr in _MUTATOR_METHODS:
+                    return receiver_attr(n.func.value)
+                for attr, methods in contract.mutating_calls.items():
+                    if n.func.attr in methods and _self_attr(n.func.value) == attr:
+                        return attr
+                return None
+            return None
+
+        def is_trigger(n: ast.AST) -> bool:
+            return mutated_attr(n) is not None
+
+        def is_release(n: ast.AST) -> bool:
+            if isinstance(n, (ast.Assign, ast.AnnAssign)):
+                targets = n.targets if isinstance(n, ast.Assign) else [n.target]
+                return any(_self_attr(t) in versions for t in targets)
+            if isinstance(n, ast.AugAssign):
+                return _self_attr(n.target) in versions
+            return False
+
+        if not any(is_trigger(n) for n in walk_no_nested(node)):
+            return None
+        failures = check_obligation(body, is_trigger, is_release)
+        out: List[Tuple[ast.AST, str]] = []
+        for failure in failures:
+            anchor = failure.trigger if failure.trigger is not None else body[-1]
+            where = getattr(failure.exit_node, "lineno", None)
+            detail = (
+                f"can return (line {where})"
+                if failure.kind == "return" and where is not None
+                else "can fall off the end"
+            )
+            out.append((anchor, detail))
+        return out
+
+    # -- caller-bump fixpoint -----------------------------------------------
+
+    def _bumps_anywhere(self, info: FunctionInfo, versions: Set[str]) -> bool:
+        for n in walk_no_nested(info.node):
+            if isinstance(n, ast.Assign) and any(
+                _self_attr(t) in versions or
+                (isinstance(t, ast.Attribute) and t.attr in versions)
+                for t in n.targets
+            ):
+                return True
+            if isinstance(n, ast.AugAssign) and (
+                _self_attr(n.target) in versions
+                or (
+                    isinstance(n.target, ast.Attribute)
+                    and n.target.attr in versions
+                )
+            ):
+                return True
+        return False
+
+    def _verdict(
+        self,
+        qualname: str,
+        plans: Dict[str, "_Plan"],
+        program: ProgramIndex,
+        verdicts: Dict[str, Optional[bool]],
+        stack: Optional[Set[str]] = None,
+    ) -> bool:
+        """Whether *qualname* satisfies its contract (possibly via callers)."""
+        if qualname in verdicts:
+            cached = verdicts[qualname]
+            return bool(cached)
+        stack = stack or set()
+        if qualname in stack:
+            return False  # mutual recursion with no bump anywhere: flag it
+        stack.add(qualname)
+        try:
+            plan = plans.get(qualname)
+            if plan is None:
+                return True
+            if not plan.failures:
+                verdicts[qualname] = True
+                return True
+            if not plan.info.is_private:
+                verdicts[qualname] = False
+                return False
+            versions = set(plan.contract.version_attrs)
+            callers = program.callers_of.get(qualname, [])
+            if not callers:
+                verdicts[qualname] = False
+                return False
+            for site in callers:
+                caller = program.functions.get(site.caller)
+                if caller is None:
+                    verdicts[qualname] = False
+                    return False
+                if self._bumps_anywhere(caller, versions):
+                    continue
+                caller_plan = plans.get(site.caller)
+                if caller_plan is not None and self._verdict(
+                    site.caller, plans, program, verdicts, stack
+                ):
+                    continue
+                # A caller that neither bumps nor mutates must be excused
+                # the same way a private non-bumping mutator is.
+                if caller.is_private and self._excused_caller(
+                    site.caller, versions, plans, program, verdicts, stack
+                ):
+                    continue
+                verdicts[qualname] = False
+                return False
+            verdicts[qualname] = True
+            return True
+        finally:
+            stack.discard(qualname)
+
+    def _excused_caller(
+        self,
+        qualname: str,
+        versions: Set[str],
+        plans: Dict[str, "_Plan"],
+        program: ProgramIndex,
+        verdicts: Dict[str, Optional[bool]],
+        stack: Set[str],
+    ) -> bool:
+        """A private non-mutating caller is fine when *its* callers all
+        bump (transitively) — ``_maybe_compact`` between ``connect`` and
+        ``_compact`` is this shape."""
+        if qualname in stack:
+            return False
+        stack.add(qualname)
+        try:
+            callers = program.callers_of.get(qualname, [])
+            if not callers:
+                return False
+            for site in callers:
+                caller = program.functions.get(site.caller)
+                if caller is None:
+                    return False
+                if self._bumps_anywhere(caller, versions):
+                    continue
+                if plans.get(site.caller) is not None and self._verdict(
+                    site.caller, plans, program, verdicts, stack
+                ):
+                    continue
+                if caller.is_private and self._excused_caller(
+                    site.caller, versions, plans, program, verdicts, stack
+                ):
+                    continue
+                return False
+            return True
+        finally:
+            stack.discard(qualname)
+
+
+@dataclass
+class _Plan:
+    info: FunctionInfo
+    class_name: str
+    contract: _Contract
+    failures: List[Tuple[ast.AST, str]]
