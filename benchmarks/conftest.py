@@ -52,16 +52,23 @@ def report(capsys, text: str) -> None:
 #: ``EXPERIMENTS.md`` so regressions show up as data, not anecdotes.
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_soa.json"
 
+#: Trajectory for the batched ACE kernel benches (``bench_ace_kernel``):
+#: same shape as ``BENCH_soa.json`` but tracking the Layer-7 step-loop gate
+#: and the 100k-peer dynamic-churn demonstration.
+ACE_TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_ace.json"
 
-def record_trajectory(bench: str, **fields: object) -> None:
-    """Append one timestamped entry to ``BENCH_soa.json``."""
+
+def record_trajectory(bench: str, path: Path = TRAJECTORY_PATH,
+                      **fields: object) -> None:
+    """Append one timestamped entry to a trajectory file (BENCH_soa by
+    default; pass ``path=ACE_TRAJECTORY_PATH`` for the kernel benches)."""
     entries = []
-    if TRAJECTORY_PATH.exists():
-        entries = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+    if path.exists():
+        entries = json.loads(path.read_text(encoding="utf-8"))
     entries.append(
         {"bench": bench, "date": time.strftime("%Y-%m-%d"), **fields}
     )
-    TRAJECTORY_PATH.write_text(
+    path.write_text(
         json.dumps(entries, indent=2) + "\n", encoding="utf-8"
     )
 

@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the batched propagation kernel and run "
                             "every query through the scalar reference engine "
                             "(slower; results are identical)")
+        p.add_argument("--scalar-ace", action="store_true",
+                       help="disable the batched ACE optimization kernel and "
+                            "run every peer's round through the scalar "
+                            "reference protocol (slower; results are "
+                            "identical; only the array engine batches)")
         p.add_argument("--sanitize", action="store_true",
                        help="enable the runtime invariant sanitizer (epoch "
                             "monotonicity, cache coherence, shm leak and RNG "
@@ -339,6 +344,15 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         # Worker processes re-read the knob from the environment, so the
         # flag reaches spawned trial workers too.
         os.environ["REPRO_SCALAR_QUERIES"] = "1"
+    if getattr(args, "scalar_ace", False):
+        import os
+
+        from .core.batch_ace import set_batched_ace
+
+        set_batched_ace(False)
+        # Worker processes re-read the knob from the environment, so the
+        # flag reaches spawned trial workers too.
+        os.environ["REPRO_SCALAR_ACE"] = "1"
     code = _COMMANDS[args.command](args, out)
     if getattr(args, "perf", False):
         print(counters.format(), file=out)

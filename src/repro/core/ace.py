@@ -26,9 +26,11 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from ..perf import counters
 from ..rng import ensure_rng
 from ..topology.overlay import Overlay
 from ..topology.soa import ArrayOverlay
+from .batch_ace import batched_ace_enabled, batched_step
 from .closure import ClosureView, neighbor_closure
 from .cost_table import Phase1Report, run_phase1
 from .flat_state import FlatAceStore
@@ -183,6 +185,14 @@ class AceProtocol:
         )
         self._state_version = 0
         self._steps_run = 0
+        #: Phase-3 actions of the most recent step, for diagnostics and the
+        #: kernel-equivalence tests (both step paths populate it).
+        self.last_actions: List[ReplacementAction] = []
+        # Closure reuse cache, keyed on (overlay.epoch, config.depth): depth
+        # is frozen per protocol, so one epoch stamp suffices.  refresh_peer
+        # and recompute_tree on an unmutated overlay share one extraction.
+        self._closure_cache: Dict[int, ClosureView] = {}
+        self._closure_epoch = -1
         if self.config.shed_degree_floor is not None:
             self._shed_floor = max(self.config.min_degree, self.config.shed_degree_floor)
         else:
@@ -214,6 +224,11 @@ class AceProtocol:
         the ``(overlay.epoch, state_version)`` pair.
         """
         return self._state_version
+
+    @property
+    def flat_store(self) -> Optional[FlatAceStore]:
+        """The struct-of-arrays state store (``None`` on the object engine)."""
+        return self._flat
 
     def state_of(self, peer: int) -> Optional[PeerAceState]:
         """The peer's Phase-2 state, or ``None`` if not yet computed.
@@ -275,9 +290,32 @@ class AceProtocol:
     # Phases
     # ------------------------------------------------------------------
 
+    def _closure_of(self, peer: int) -> ClosureView:
+        """The peer's current closure, shared between refresh and recompute.
+
+        Cached per ``(overlay.epoch, depth)`` — depth is frozen, so the
+        epoch stamp alone keys it; any structural mutation bumps the epoch
+        and flushes the cache.  At a fixed epoch a re-extraction returns an
+        identical :class:`ClosureView` (same members, same dict orders,
+        same cached cost floats), so reuse cannot change a single byte —
+        it only saves the end-of-step ``recompute_tree`` sweep from
+        re-deriving every closure ``refresh_peer`` just built.
+        """
+        epoch = self.overlay.epoch
+        if epoch != self._closure_epoch:
+            self._closure_cache.clear()
+            self._closure_epoch = epoch
+        cached = self._closure_cache.get(peer)
+        if cached is not None:
+            counters.closure_reuses += 1
+            return cached
+        closure = neighbor_closure(self.overlay, peer, self.config.depth)
+        self._closure_cache[peer] = closure
+        return closure
+
     def refresh_peer(self, peer: int) -> Tuple[PeerAceState, Phase1Report]:
         """Run Phases 1-2 for one peer and store its new state."""
-        closure = neighbor_closure(self.overlay, peer, self.config.depth)
+        closure = self._closure_of(peer)
         phase1 = run_phase1(
             self.overlay,
             closure,
@@ -317,8 +355,40 @@ class AceProtocol:
         peers mutated the topology; in the real protocol this information
         arrives through the periodic table exchanges already charged.
         """
-        closure = neighbor_closure(self.overlay, peer, self.config.depth)
+        closure = self._closure_of(peer)
         return self._store_state(peer, closure)
+
+    def _put_flat(
+        self,
+        peer: int,
+        flooding: Sequence[int],
+        known: Sequence[int],
+        closure_size: int,
+        closure_edges: int,
+    ) -> None:
+        """Store a kernel-computed peer state straight into the flat store.
+
+        The batched kernel's write seam: no ``PeerAceState`` or tree object
+        is materialized, but the version contract is the reference's — one
+        bump per stored peer (the sanitizer wraps this like
+        ``_store_state``).
+        """
+        assert self._flat is not None
+        self._flat.put(peer, flooding, known, closure_size, closure_edges)
+        self._state_version += 1
+
+    def _bump_state_version(self) -> None:
+        """Advance the state version without rewriting a row.
+
+        Used by the kernel's rebuild phase when a peer's stored state is
+        provably identical to what a recompute would produce — the version
+        trajectory still matches the reference loop bump for bump.
+        """
+        self._state_version += 1
+
+    def _bump_steps(self) -> None:
+        """Mark one optimization step as completed (kernel epilogue)."""
+        self._steps_run += 1
 
     def shed_redundant_links(self, peer: int, non_flooding: Sequence[int]) -> int:
         """Cut non-flooding links that a logical triangle makes redundant.
@@ -330,7 +400,16 @@ class AceProtocol:
         1 L-M situation, and the eventual fate of C-H in Figure 4(c)).
         Degree floors are respected on both endpoints.
         """
-        sheds = 0
+        return len(self._shed_redundant(peer, non_flooding))
+
+    def _shed_redundant(self, peer: int, non_flooding: Sequence[int]) -> List[int]:
+        """:meth:`shed_redundant_links`, returning the cut targets.
+
+        The batched kernel needs the endpoints of every mid-step mutation
+        for its closure staleness test, so the single implementation lives
+        here and the public method reports the count.
+        """
+        sheds: List[int] = []
         my_neighbors = self.overlay.neighbors(peer)
         # One batched sweep covers every peer-rooted cost this phase needs
         # (targets and mutual witnesses alike); shedding only removes edges,
@@ -342,7 +421,7 @@ class AceProtocol:
         # redundant connection goes first.
         ordered = sorted(non_flooding, key=lambda t: (-d_peer[t], t))
         for target in ordered:
-            if sheds >= self.config.max_sheds_per_step:
+            if len(sheds) >= self.config.max_sheds_per_step:
                 break
             if not self.overlay.has_edge(peer, target):
                 continue
@@ -362,7 +441,7 @@ class AceProtocol:
             for w in mutual:
                 if d_peer[w] < d_pt and d_target[w] < d_pt:
                     self.overlay.disconnect(peer, target)
-                    sheds += 1
+                    sheds.append(target)
                     break
         return sheds
 
@@ -419,11 +498,18 @@ class AceProtocol:
         Peers execute in random order, mirroring the asynchronous
         independent execution of the distributed protocol.  Returns the
         aggregated :class:`StepReport`.
+
+        On the array engine the step runs through the vectorized kernel
+        (:mod:`repro.core.batch_ace`) unless batching is disabled — the
+        scalar loop below is the byte-identical reference either way.
         """
+        if self._flat is not None and batched_ace_enabled():
+            return batched_step(self, peers)
         if peers is None:
             peers = self.overlay.peers()
         order = list(peers)
         self.rng.shuffle(order)
+        self.last_actions = []
         # Pre-warm the exact cost working set of this step in one batched
         # underlay solve: every Phase-1 probe is a logical-edge cost, so
         # bulk-filling the edge-cost cache up front turns the per-peer inner
@@ -447,12 +533,12 @@ class AceProtocol:
                 for peer in block:
                     if not self.overlay.has_peer(peer):
                         continue
-                    self.optimize_peer(peer, report)
+                    self.last_actions.extend(self.optimize_peer(peer, report))
         else:
             for peer in order:
                 if not self.overlay.has_peer(peer):
                     continue
-                self.optimize_peer(peer, report)
+                self.last_actions.extend(self.optimize_peer(peer, report))
         # Re-run Phase 2 everywhere so flooding sets reflect the final
         # post-step topology (peers whose links were changed later in the
         # round would otherwise route on stale trees until their next turn).

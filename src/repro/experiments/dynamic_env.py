@@ -29,7 +29,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.ace import AceConfig, AceProtocol
+from ..core.batch_ace import churn_refresh, kernel_active
 from ..metrics.accounting import TrafficAccount
+from ..perf import counters
 from ..metrics.collector import SeriesCollector
 from ..search.batch import run_queries
 from ..search.caching import IndexCacheStore, cached_query
@@ -169,6 +171,7 @@ def run_dynamic_experiment(
         def depart() -> None:
             if not overlay.has_peer(peer):
                 return
+            epoch_before = overlay.epoch
             affected = set(overlay.neighbors(peer))
             if protocol is not None:
                 protocol.handle_peer_left(peer)
@@ -179,7 +182,19 @@ def run_dynamic_experiment(
             if protocol is not None:
                 protocol.handle_peer_joined(replacement)
             churn.repair_isolated()
-            if protocol is not None:
+            if protocol is not None and kernel_active(protocol):
+                # Vectorized churn driver: the whole mutation batch above
+                # already sits in the array engine's edit buffer; re-warm
+                # the touched cost rows once and re-extract the joiner plus
+                # every affected peer in one batched closure sweep.  The
+                # joiner's Phase-1 overhead is charged exactly as below.
+                counters.churn_batch_mutations += overlay.epoch - epoch_before
+                affected |= set(overlay.neighbors(replacement))
+                affected.discard(replacement)
+                overhead = churn_refresh(protocol, replacement, affected)
+                pending_overhead[0] += overhead
+                series.total_overhead += overhead
+            elif protocol is not None:
                 # A servent reacts to connection changes immediately.  The
                 # joiner runs a full Phase 1 (its new links must be probed —
                 # overhead charged); the ex-neighbors and new neighbors

@@ -85,6 +85,15 @@ class PerfCounters:
     soa_edit_buffer_flushes: int = 0
     #: Flat ACE-state store re-packs of the membership snapshot arrays.
     array_state_syncs: int = 0
+    #: Optimization steps executed by the batched ACE kernel.
+    ace_batched_steps: int = 0
+    #: Peer closures extracted by shared CSR frontier sweeps (kernel blocks).
+    closure_batch_peers: int = 0
+    #: Overlay mutations folded into batch-handled churn events.
+    churn_batch_mutations: int = 0
+    #: Closure extractions avoided by the ``(epoch, depth)`` reuse cache
+    #: (scalar refresh/recompute sharing) or the kernel's rebuild shortcut.
+    closure_reuses: int = 0
 
     # ------------------------------------------------------------------
 
@@ -179,6 +188,12 @@ class PerfCounters:
             f"  array engine: {self.soa_compactions} compactions "
             f"({self.soa_edit_buffer_flushes} with buffered edits), "
             f"{self.array_state_syncs} state syncs"
+        )
+        lines.append(
+            f"  ace kernel: {self.ace_batched_steps} batched steps, "
+            f"{self.closure_batch_peers} closures batch-extracted, "
+            f"{self.closure_reuses} closure reuses, "
+            f"{self.churn_batch_mutations} churn mutations batched"
         )
         return "\n".join(lines)
 

@@ -294,6 +294,13 @@ def _install_ace_hooks() -> None:
     _wrap_versioned(
         AceProtocol, "_store_state", "_state_version", changed=_always_changed
     )
+    # The batched kernel bypasses _store_state and writes through _put_flat;
+    # it must bump the version on every write just like the scalar path, and
+    # a whole step() may never move the version backwards.
+    _wrap_versioned(
+        AceProtocol, "_put_flat", "_state_version", changed=_always_changed
+    )
+    _wrap_versioned(AceProtocol, "step", "_state_version")
     _wrap_versioned(AceProtocol, "handle_peer_joined", "_state_version")
     _wrap_versioned(AceProtocol, "handle_peer_left", "_state_version")
 

@@ -39,7 +39,7 @@ around mutations, so the two behaviours are indistinguishable.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -92,6 +92,10 @@ class ArrayOverlay(Overlay):
         self._nedges = 0
         self._missing = 0
         self._peers_cache: Optional[List[int]] = None
+        #: Slots still exactly the sorted-peer layout of the last repack
+        #: (no peer added/removed since): re-packs can skip re-deriving the
+        #: slot order and index.
+        self._slots_canonical = False
 
         if hosts:
             for peer, host in hosts.items():
@@ -151,8 +155,8 @@ class ArrayOverlay(Overlay):
         index: Dict[int, int],
         host: np.ndarray,
         indptr: np.ndarray,
-        nbr: List[int],
-        cost: List[float],
+        nbr: Union[List[int], np.ndarray],
+        cost: Union[List[float], np.ndarray],
     ) -> None:
         """Install a freshly packed base CSR (slots in sorted-peer order)."""
         n = len(order)
@@ -181,6 +185,7 @@ class ArrayOverlay(Overlay):
             int(np.count_nonzero(np.isnan(self._ncost))) // 2 if nnz else 0
         )
         self._peers_cache = order
+        self._slots_canonical = True
 
     def _compact(self) -> None:
         """Re-pack the CSR: merge the edit buffer, drop tombstones.
@@ -192,37 +197,96 @@ class ArrayOverlay(Overlay):
         counters.soa_compactions += 1
         if self._edits or self._extra:
             counters.soa_edit_buffer_flushes += 1
-        order = sorted(self._index)
-        n = len(order)
-        old_index = self._index
-        old_to_new = {old_index[p]: i for i, p in enumerate(order)}
-        host = np.empty(n, dtype=np.int64)
+        identity = self._slots_canonical
+        if identity:
+            # Peer set untouched since the last repack: slots already ARE the
+            # canonical sorted-peer layout, so the order, index and host
+            # arrays carry over and the whole remap collapses to a live-entry
+            # mask over the base CSR.
+            order = self._peers_cache
+            if order is None:  # pragma: no cover - canonical implies cached
+                order = self._slot_peer[: self._nbase].tolist()
+            n = self._nbase
+            index = self._index
+            host = self._slot_host[:n].astype(np.int64)
+            new_of = None
+        else:
+            order = sorted(self._index)
+            n = len(order)
+            index = {p: i for i, p in enumerate(order)}
+            old_index = self._index
+            if n:
+                old_slots = np.fromiter(
+                    (old_index[p] for p in order), count=n, dtype=np.int64
+                )
+            else:
+                old_slots = np.empty(0, dtype=np.int64)
+            new_of = np.full(max(self._nslots, 1), -1, dtype=np.int64)
+            new_of[old_slots] = np.arange(n, dtype=np.int64)
+            host = self._slot_host[old_slots].astype(np.int64)
+
+        # Live base entries of every surviving row, gathered in one shot.
+        if identity:
+            live = ~self._dead
+            deg_all = (self._indptr[1:] - self._indptr[:-1]) if n else (
+                np.empty(0, dtype=np.int64)
+            )
+            e_row = np.repeat(np.arange(n, dtype=np.int64), deg_all)[live]
+            e_nbr = self._nbr[live]
+            e_cost = self._ncost[live]
+        else:
+            has_base = old_slots < self._nbase
+            so = old_slots[has_base]
+            base_rows = np.nonzero(has_base)[0]
+            deg = self._indptr[so + 1] - self._indptr[so]
+            total = int(deg.sum())
+            if total:
+                ends = np.cumsum(deg)
+                eidx = (
+                    np.repeat(self._indptr[so] - (ends - deg), deg)
+                    + np.arange(total)
+                )
+                live = ~self._dead[eidx]
+                eidx = eidx[live]
+                e_row = np.repeat(base_rows, deg)[live]
+                e_nbr = new_of[self._nbr[eidx]]
+                e_cost = self._ncost[eidx]
+            else:
+                e_row = e_nbr = np.empty(0, dtype=np.int64)
+                e_cost = np.empty(0, dtype=np.float64)
+
+        # Buffered extra edges (small; entries on freed slots are skipped
+        # exactly like the per-row .get() of the scalar layout pass).
+        ex_row: List[int] = []
+        ex_nbr: List[int] = []
+        ex_cost: List[float] = []
+        for slot, ex in self._extra.items():
+            r = slot if new_of is None else int(new_of[slot])
+            if r < 0 or not ex:
+                continue
+            for sv, c in ex.items():
+                ex_row.append(r)
+                ex_nbr.append(sv if new_of is None else int(new_of[sv]))
+                ex_cost.append(c)
+        if ex_row:
+            e_row = np.concatenate([e_row, np.array(ex_row, dtype=np.int64)])
+            e_nbr = np.concatenate([e_nbr, np.array(ex_nbr, dtype=np.int64)])
+            e_cost = np.concatenate(
+                [e_cost, np.array(ex_cost, dtype=np.float64)]
+            )
+
+        # Canonical layout: rows in sorted-peer order, each row sorted by
+        # neighbor slot (== neighbor peer id; (row, nbr) pairs are unique,
+        # so this matches the scalar per-row pair sort exactly).  Under the
+        # identity fast path with no buffered extras the masked base rows
+        # are already in that order, so the sort is a no-op we skip.
+        if not (identity and not ex_row):
+            perm = np.lexsort((e_nbr, e_row))
+            e_nbr = e_nbr[perm]
+            e_cost = e_cost[perm]
         indptr = np.zeros(n + 1, dtype=np.int64)
-        nbr: List[int] = []
-        cost: List[float] = []
-        for i, p in enumerate(order):
-            so = old_index[p]
-            host[i] = self._slot_host[so]
-            pairs: List[Tuple[int, float]] = []
-            if so < self._nbase:
-                s = int(self._indptr[so])
-                e = int(self._indptr[so + 1])
-                for j in range(s, e):
-                    if not self._dead[j]:
-                        pairs.append(
-                            (old_to_new[int(self._nbr[j])], float(self._ncost[j]))
-                        )
-            ex = self._extra.get(so)
-            if ex:
-                for sv, c in ex.items():
-                    pairs.append((old_to_new[sv], c))
-            pairs.sort()
-            nbr.extend(a for a, _ in pairs)
-            cost.extend(b for _, b in pairs)
-            indptr[i + 1] = indptr[i] + len(pairs)
-        self._install_base(
-            order, {p: i for i, p in enumerate(order)}, host, indptr, nbr, cost
-        )
+        np.cumsum(np.bincount(e_row, minlength=n), out=indptr[1:])
+        self._install_base(order, index, host, indptr, e_nbr, e_cost)
 
     def _maybe_compact(self) -> None:
         limit = self._compact_threshold
@@ -323,6 +387,7 @@ class ArrayOverlay(Overlay):
             raise ValueError(f"host {host} out of range")
         self._new_slot(peer, host)
         self._peers_cache = None
+        self._slots_canonical = False
         self._epoch += 1
 
     def remove_peer(self, peer: int) -> None:
@@ -359,6 +424,7 @@ class ArrayOverlay(Overlay):
         self._slot_degree[slot] = 0
         self._free.append(slot)
         self._peers_cache = None
+        self._slots_canonical = False
         self._epoch += 1
         self._maybe_compact()
 
@@ -731,6 +797,32 @@ class ArrayOverlay(Overlay):
     # Bulk views
     # ------------------------------------------------------------------
 
+    def adjacency_csr(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Compacted live-adjacency snapshot for bulk kernels.
+
+        Returns ``(peer_ids, indptr, targets, costs)`` *views* over the base
+        arrays: after compaction slot ``i`` holds the ``i``-th smallest peer
+        id, so the slot-valued CSR doubles as a row-index CSR, ``peer_ids``
+        is ascending, and every row is sorted by neighbor peer id.  Warms
+        the edge costs first and compacts if the edit buffer is non-empty,
+        so no row carries tombstones or NaN costs.  The views are read-only
+        snapshots: consume them before the next structural mutation.
+        """
+        self.warm_edge_costs()
+        if self._extra or self._edits or self._free or self._nbase != len(
+            self._index
+        ):
+            self._compact()
+        n = len(self._index)
+        return (
+            self._slot_peer[:n],
+            self._indptr[: n + 1],
+            self._nbr,
+            self._ncost,
+        )
+
     def flooding_csr(
         self,
     ) -> Tuple[List[int], np.ndarray, np.ndarray, np.ndarray]:
@@ -742,20 +834,8 @@ class ArrayOverlay(Overlay):
         edge costs first and compacts if the edit buffer is non-empty, so
         the arrays can be handed over without per-edge Python iteration.
         """
-        self.warm_edge_costs()
-        if self._extra or self._edits or self._free or self._nbase != len(
-            self._index
-        ):
-            self._compact()
-        # After compaction slot i holds the i-th smallest peer id, so the
-        # slot-valued CSR doubles as a row-index CSR and rows are sorted.
-        n = len(self._index)
-        return (
-            self.peers(),
-            self._indptr[: n + 1].copy(),
-            self._nbr.copy(),
-            self._ncost.copy(),
-        )
+        _, indptr, nbr, ncost = self.adjacency_csr()
+        return (self.peers(), indptr.copy(), nbr.copy(), ncost.copy())
 
     # ------------------------------------------------------------------
     # Connectivity

@@ -1,0 +1,242 @@
+"""The batched ACE kernel is an optimization, not a treatment.
+
+``repro.core.batch_ace`` replaces the per-peer closure/Phase-1/MST inner
+loop of :meth:`AceProtocol.step` with one shared CSR frontier sweep, a flat
+cost pass and a segmented MST kernel.  These tests pin the contract from
+the inside: identical step reports, identical replacement actions,
+identical flat-store rows, identical overlay edges — across depths,
+oracles and seeds, static and under churn — plus the toggle plumbing and
+the perf counters the kernel is observable through.
+
+Figure-level byte-identity (the experiment blobs) rides in
+``tests/experiments/test_reproducibility.py``; the acceptance speedup gate
+is ``benchmarks/bench_ace_kernel.py``.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.ace import AceConfig, AceProtocol
+from repro.core.batch_ace import (
+    batched_ace_enabled,
+    extract_closures,
+    kernel_active,
+    scalar_ace,
+    set_batched_ace,
+)
+from repro.core.closure import neighbor_closure
+from repro.core.spanning_tree import prim_mst_heap
+from repro.experiments.dynamic_env import DynamicConfig, run_dynamic_experiment
+from repro.experiments.setup import ScenarioConfig, build_scenario
+from repro.perf import counters
+
+
+def scenario(engine="array", seed=5, oracle="exact", peers=60, nodes=240):
+    return build_scenario(
+        ScenarioConfig(
+            physical_nodes=nodes,
+            peers=peers,
+            avg_degree=6.0,
+            seed=seed,
+            oracle=oracle,
+            engine=engine,
+        )
+    )
+
+
+def protocol_for(sc, depth=2, seed=5):
+    overlay = sc.fresh_overlay()
+    overlay.warm_edge_costs()
+    return AceProtocol(
+        overlay,
+        AceConfig(depth=depth),
+        rng=np.random.default_rng(seed + 0xACE),
+    )
+
+
+def full_state(protocol, steps=3):
+    """Run *steps* ACE steps and snapshot everything the kernel may touch."""
+    reports = [dataclasses.asdict(protocol.step()) for _ in range(steps)]
+    overlay = protocol.overlay
+    return {
+        "reports": reports,
+        "actions": [dataclasses.asdict(a) for a in protocol.last_actions],
+        "version": protocol.state_version,
+        "edges": sorted(
+            (min(u, v), max(u, v), overlay.cost(u, v)) for u, v in overlay.edges()
+        ),
+        "flooding": {
+            p: sorted(protocol.flooding_neighbors(p)) for p in overlay.peers()
+        },
+        "non_flooding": {
+            p: sorted(protocol.non_flooding_neighbors(p))
+            for p in overlay.peers()
+        },
+    }
+
+
+class TestKernelEquality:
+    """Scalar and batched step loops agree on every observable."""
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    @pytest.mark.parametrize("oracle", ["exact", "landmark:8"])
+    def test_full_state_matches_across_depth_and_oracle(self, depth, oracle):
+        with scalar_ace():
+            ref = full_state(protocol_for(scenario(oracle=oracle), depth=depth))
+        kern = full_state(protocol_for(scenario(oracle=oracle), depth=depth))
+        assert kern == ref
+
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    def test_full_state_matches_across_seeds(self, seed):
+        with scalar_ace():
+            ref = full_state(protocol_for(scenario(seed=seed), seed=seed))
+        kern = full_state(protocol_for(scenario(seed=seed), seed=seed))
+        assert kern == ref
+
+    def test_dynamic_churn_series_matches(self):
+        dyn = DynamicConfig(total_queries=120, window=40)
+        with scalar_ace():
+            ref = run_dynamic_experiment(scenario(), dyn)
+        kern = run_dynamic_experiment(scenario(), dyn)
+        assert dataclasses.asdict(kern) == dataclasses.asdict(ref)
+
+    def test_object_engine_is_untouched_by_the_toggle(self):
+        # The kernel only engages on the array engine; the object-model
+        # reference runs the same scalar loop whatever the toggle says.
+        counters.reset()
+        ref = full_state(protocol_for(scenario(engine="object")))
+        assert counters.ace_batched_steps == 0
+        kern = full_state(protocol_for(scenario()))
+        assert counters.ace_batched_steps == 3
+        assert kern == ref
+
+
+class TestExtractClosures:
+    """The batched extractor equals the per-peer reference closure."""
+
+    def test_members_edges_and_trees_match_neighbor_closure(self):
+        sc = scenario()
+        overlay = sc.fresh_overlay()
+        overlay.warm_edge_costs()
+        peers = overlay.peers()
+        batch = extract_closures(overlay, peers, depth=2)
+        assert batch.sources == list(peers)
+        for peer in peers:
+            i = batch.index[peer]
+            ref = neighbor_closure(overlay, peer, 2)
+            assert batch.members[i] == sorted(ref.members)
+            assert batch.closure_edges[i] == ref.num_edges()
+            assert batch.direct[i] == sorted(ref.edges[peer])
+            tree = prim_mst_heap(ref.edges, peer)
+            assert batch.flooding[i] == sorted(tree.tree_neighbors(peer))
+
+    def test_probe_sum_is_the_sequential_direct_cost_sum(self):
+        sc = scenario()
+        overlay = sc.fresh_overlay()
+        overlay.warm_edge_costs()
+        peers = overlay.peers()[:8]
+        batch = extract_closures(overlay, peers, depth=2)
+        for peer in peers:
+            i = batch.index[peer]
+            total = 0.0
+            for cost in batch.direct_costs[i]:
+                total += cost
+            assert batch.probe_sum[i] == total
+
+    def test_empty_batch_is_empty(self):
+        sc = scenario()
+        overlay = sc.fresh_overlay()
+        batch = extract_closures(overlay, [], depth=2)
+        assert batch.sources == []
+        assert batch.index == {}
+
+
+class TestToggle:
+    def test_set_batched_ace_returns_previous_value(self):
+        assert batched_ace_enabled()
+        assert set_batched_ace(False) is True
+        try:
+            assert not batched_ace_enabled()
+            assert set_batched_ace(True) is False
+        finally:
+            set_batched_ace(True)
+
+    def test_scalar_ace_restores_on_exit(self):
+        assert batched_ace_enabled()
+        with scalar_ace():
+            assert not batched_ace_enabled()
+            with scalar_ace():
+                assert not batched_ace_enabled()
+            assert not batched_ace_enabled()
+        assert batched_ace_enabled()
+
+    def test_kernel_active_tracks_engine_and_toggle(self):
+        arr = protocol_for(scenario())
+        obj = protocol_for(scenario(engine="object"))
+        assert kernel_active(arr)
+        assert not kernel_active(obj)
+        with scalar_ace():
+            assert not kernel_active(arr)
+
+
+class TestPerfCounters:
+    def test_batched_step_counters(self):
+        protocol = protocol_for(scenario())
+        n = len(protocol.overlay.peers())
+        counters.reset()
+        protocol.step()
+        assert counters.ace_batched_steps == 1
+        # Every scheduled peer goes through the batched extractor at least
+        # once; peers whose closures were dirtied mid-step are re-extracted
+        # by the end-of-step tree rebuild on top of that.
+        assert counters.closure_batch_peers >= n
+        protocol.step()
+        assert counters.ace_batched_steps == 2
+        assert counters.closure_batch_peers >= 2 * n
+
+    def test_scalar_loop_leaves_kernel_counters_alone(self):
+        protocol = protocol_for(scenario())
+        counters.reset()
+        with scalar_ace():
+            protocol.step()
+        assert counters.ace_batched_steps == 0
+        assert counters.closure_batch_peers == 0
+
+    def test_tree_rebuilds_reuse_fresh_closures(self):
+        # Depth-1 closures on a larger overlay: some peers see no mutation
+        # inside their closure after their own round, so their end-of-step
+        # tree rebuild must reuse the batch entry rather than re-extract.
+        # (Small dense overlays legitimately show zero reuses — almost every
+        # closure intersects some mutation — hence the 800-peer scenario.)
+        protocol = protocol_for(scenario(peers=800, nodes=2400), depth=1)
+        counters.reset()
+        protocol.step()
+        assert counters.closure_reuses > 0
+
+    def test_refresh_then_recompute_reuses_the_closure(self):
+        # The satellite fix for AceProtocol.recompute_tree: back-to-back
+        # refresh_peer/recompute_tree on an unmutated overlay must extract
+        # the closure once, not twice — the reuse is keyed on
+        # (overlay.epoch, depth) and observable through the counter.
+        protocol = protocol_for(scenario())
+        peer = protocol.overlay.peers()[0]
+        counters.reset()
+        protocol.refresh_peer(peer)
+        assert counters.closure_reuses == 0
+        protocol.recompute_tree(peer)
+        assert counters.closure_reuses == 1
+        # A structural mutation invalidates the cached closure.
+        u, v = next(iter(protocol.overlay.edges()))
+        protocol.overlay.disconnect(u, v)
+        protocol.recompute_tree(peer)
+        assert counters.closure_reuses == 1
+
+    def test_churn_counter_rides_the_dynamic_driver(self):
+        counters.reset()
+        run_dynamic_experiment(
+            scenario(), DynamicConfig(total_queries=120, window=40)
+        )
+        assert counters.ace_batched_steps > 0
+        assert counters.churn_batch_mutations > 0

@@ -1,0 +1,28 @@
+"""REP014 fixture: per-peer scalar ACE refresh loops. All bad."""
+
+
+def refresh_batch(protocol, batch):
+    overhead = 0.0
+    for peer in batch:
+        _state, phase1 = protocol.refresh_peer(peer)
+        overhead += phase1.total_overhead
+    return overhead
+
+
+def rebuild_tables(protocol, overlay, peers, depth):
+    tables = {}
+    for peer in peers:
+        closure = neighbor_closure(overlay, peer, depth)
+        tables[peer] = run_phase1(overlay, peer, closure)
+    return tables
+
+
+def churn_repair(protocol, affected):
+    async def drain(queue):
+        async for peer in queue:
+            protocol.refresh_peer(peer)
+
+    for peer in affected:
+        if protocol.overlay.has_peer(peer):
+            protocol.refresh_peer(peer)
+    return drain

@@ -1,0 +1,36 @@
+"""REP014 fixture: batched kernel entry points and exempt shapes. Clean."""
+
+
+def run_batch(protocol, batch):
+    # The sanctioned path: one shared closure sweep for the whole batch.
+    closures = extract_closures(protocol.overlay, batch, protocol.config.depth)
+    return protocol.apply(closures)
+
+
+def churn_repair(protocol, replacement, affected):
+    # The vectorized churn driver refreshes the joiner plus every affected
+    # peer in one batched re-extraction.
+    return churn_refresh(protocol, replacement, affected)
+
+
+def single_peer_join(protocol, peer):
+    # One peer, no loop: the scalar refresh is the right tool.
+    _state, phase1 = protocol.refresh_peer(peer)
+    return phase1.total_overhead
+
+
+def loop_without_scalar_helpers(protocol, batch):
+    # Looping the batch is fine when the body never re-derives a closure.
+    total = 0.0
+    for peer in batch:
+        total += protocol.last_overhead(peer)
+    return total
+
+
+def scalar_reference_loop(protocol, batch):
+    overhead = 0.0
+    # replint: disable=REP014 — scalar reference arm of the equality sweep
+    for peer in batch:
+        _state, phase1 = protocol.refresh_peer(peer)
+        overhead += phase1.total_overhead
+    return overhead

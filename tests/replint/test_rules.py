@@ -252,6 +252,37 @@ class TestSoaHygiene:
         assert check_file(below, [rules_by_code()["REP008"]]) == []
 
 
+class TestAceKernel:
+    def test_bad_fixture_catches_scalar_refresh_loops(self):
+        violations = run_rule("REP014", "src/repro/core/rep014_bad.py")
+        assert all(v.code == "REP014" for v in violations)
+        # a refresh_peer() loop, a neighbor_closure()+run_phase1() loop, an
+        # async-for refresh, and a guarded refresh loop — one finding per
+        # offending for-statement.
+        assert lines(violations) == [6, 14, 22, 25]
+
+    def test_message_names_the_helpers_and_the_kernel(self):
+        violations = run_rule("REP014", "src/repro/core/rep014_bad.py")
+        phase1 = [v for v in violations if v.line == 14]
+        assert "neighbor_closure()" in phase1[0].message
+        assert "run_phase1()" in phase1[0].message
+        assert "batched_step" in phase1[0].message
+
+    def test_good_fixture_is_clean(self):
+        # Batched entry points, single-peer refreshes, helper-free loops
+        # and a justified scalar reference loop are all sanctioned.
+        assert run_rule("REP014", "src/repro/core/rep014_good.py") == []
+
+    def test_rule_scoped_to_step_and_churn_driver_packages(self, tmp_path):
+        # Benchmarks, tests and tooling may loop the scalar helpers; only
+        # repro.core and repro.experiments host the hot drivers.
+        source = (FIXTURES / "src/repro/core/rep014_bad.py").read_text()
+        below = tmp_path / "src" / "repro" / "sim" / "helper.py"
+        below.parent.mkdir(parents=True)
+        below.write_text(source)
+        assert check_file(below, [rules_by_code()["REP014"]]) == []
+
+
 class TestSuppressions:
     def test_fully_suppressed_fixture_is_clean(self):
         assert check_file(FIXTURES / "suppressed.py", default_rules()) == []

@@ -24,6 +24,8 @@ REP011    version-bump            structural mutation bumps _epoch/_state_versio
 REP012    float-order             no order-dependent float reductions over sets in
                                   simulation decision logic
 REP013    suppression-hygiene     every disable pragma carries a justification
+REP014    ace-kernel              step/churn drivers never refresh ACE state one
+                                  peer at a time; the batched kernel instead
 ========  ======================  =====================================================
 
 ``REP000`` is reserved for parse errors (emitted by the engine, not a rule).
@@ -37,6 +39,7 @@ from __future__ import annotations
 from typing import Dict, List, Union
 
 from ..engine import ProgramRule, Rule
+from .ace_kernel import AceKernelRule
 from .batched_queries import BatchedQueriesRule
 from .cache_coherence import CacheCoherenceRule
 from .determinism import DeterminismRule
@@ -65,6 +68,7 @@ __all__ = [
     "VersionBumpRule",
     "FloatOrderRule",
     "SuppressionHygieneRule",
+    "AceKernelRule",
     "default_rules",
     "rules_by_code",
 ]
@@ -88,6 +92,7 @@ def default_rules() -> List[AnyRule]:
         VersionBumpRule(),
         FloatOrderRule(),
         SuppressionHygieneRule(),
+        AceKernelRule(),
     ]
 
 

@@ -1,0 +1,89 @@
+"""REP014 — no per-peer scalar ACE refresh loops outside the kernel.
+
+The batched ACE kernel (PR 8, :mod:`repro.core.batch_ace`) extracts every
+scheduled peer's h-neighbor closure in one shared CSR frontier sweep, runs
+the Phase-1 cost pass over flat arrays, and builds the MSTs with a
+segmented local-index kernel.  A loop of the shape
+
+.. code-block:: python
+
+    for peer in batch:
+        state, phase1 = protocol.refresh_peer(peer)     # or run_phase1 /
+        ...                                             # neighbor_closure
+
+re-derives one closure per peer per iteration — a BFS, a dict-of-dicts
+cost table and a Python MST each time — and is exactly the interpreter
+bound inner loop the kernel replaced.  Inside ``repro.core`` and
+``repro.experiments`` — the packages the step/churn drivers live in — such
+loops must route through the batched entry points (``batched_step``,
+``churn_refresh``, ``extract_closures``) or carry a line suppression
+explaining why the scalar path is genuinely required (the scalar
+reference implementation itself, cold single-peer paths).
+
+The rule flags ``for``/``async for`` statements that call
+``refresh_peer()`` / ``run_phase1()`` / ``neighbor_closure()`` anywhere
+in the loop body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Rule, Violation
+
+_SCALAR_CALLS = {"refresh_peer", "run_phase1", "neighbor_closure"}
+
+_HOT_PACKAGES = ("repro.core", "repro.experiments")
+
+
+def _body_calls(node: ast.AST) -> Iterator[str]:
+    """Names of flagged scalar ACE helpers called anywhere under *node*."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        func = child.func
+        if isinstance(func, ast.Attribute) and func.attr in _SCALAR_CALLS:
+            yield func.attr
+        elif isinstance(func, ast.Name) and func.id in _SCALAR_CALLS:
+            yield func.id
+
+
+class AceKernelRule(Rule):
+    """Flag per-peer scalar ACE refresh loops in step/churn driver code."""
+
+    code = "REP014"
+    name = "ace-kernel"
+    description = (
+        "per-peer loops calling refresh_peer()/run_phase1()/"
+        "neighbor_closure() re-derive one closure per iteration; step and "
+        "churn drivers must use the batched kernel (batched_step/"
+        "churn_refresh/extract_closures)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module is None:
+            return False
+        return any(
+            ctx.module == pkg or ctx.module.startswith(pkg + ".")
+            for pkg in _HOT_PACKAGES
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            helpers = sorted(
+                {name for part in node.body for name in _body_calls(part)}
+            )
+            if not helpers:
+                continue
+            calls = ", ".join(f"{name}()" for name in helpers)
+            yield ctx.violation(
+                node,
+                self.code,
+                f"per-peer loop calls {calls} each iteration, re-deriving "
+                "closures one peer at a time; route through the batched ACE "
+                "kernel (batched_step/churn_refresh/extract_closures) or "
+                "justify the scalar path with a suppression",
+            )
