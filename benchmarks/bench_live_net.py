@@ -1,0 +1,136 @@
+"""Live network runtime: wire-level latency and throughput (PR 9).
+
+The sim-vs-live convergence guarantee is pinned by ``tests/net`` under the
+lockstep discipline; this bench measures what the lockstep tests cannot —
+how the runtime behaves as a *network program*, under the ``realtime``
+discipline where frames dispatch the moment they arrive.  For each
+connection-count setting (the Fig-7 x-axis: average neighbors per peer) it
+boots a full in-process fleet — seed node, ``Hello``/``Welcome``
+registration, overlay bootstrap, live ACE rounds over
+``CostProbe``/``CostTableMessage``/``ConnectRequest`` exchanges — then
+drives a seeded Fig-7-style query workload through real sockets and
+reports:
+
+* per-query first-response latency over the wire (p50 / p99 of the
+  wall-clock gap between ``Query`` send and the first ``QueryHit``),
+* throughput (queries and frames per second of end-to-end wall time,
+  registration and ACE rounds included), and
+* bytes on the wire, split per query.
+
+Quick/CI mode (``REPRO_BENCH_QUICK=1``) trims the fleet and workload.
+Every run appends a machine-readable entry to ``BENCH_net.json`` at the
+repo root (see ``EXPERIMENTS.md`` for the narrative trajectory).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import NET_TRAJECTORY_PATH, record_trajectory, report
+
+from repro.core.ace import AceConfig
+from repro.experiments.setup import ScenarioConfig, build_scenario
+from repro.net.launch import plan_queries, run_live
+from repro.net.runtime import NetConfig
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") in ("1", "true")
+PEERS = 8 if QUICK else 16
+QUERIES = 8 if QUICK else 32
+STEPS = 2
+SEED = 7
+#: Average-neighbor settings (the paper's connection-count axis).
+DEGREES = (4.0, 6.0)
+
+
+def _run_setting(degree):
+    config = ScenarioConfig(
+        physical_nodes=8 * PEERS,
+        peers=PEERS,
+        avg_degree=degree,
+        seed=SEED,
+    )
+    scenario = build_scenario(config)
+    plan = plan_queries(scenario, QUERIES)
+    start = time.perf_counter()
+    live = run_live(
+        scenario,
+        AceConfig(),
+        steps=STEPS,
+        plan=plan,
+        net=NetConfig(discipline="realtime"),
+    )
+    wall = time.perf_counter() - start
+    walls = [
+        q["wall_first_response"]
+        for q in live.queries
+        if q.get("wall_first_response") is not None
+    ]
+    return {
+        "degree": degree,
+        "answered": len(walls),
+        "hits": live.total_hits,
+        "p50_ms": float(np.percentile(walls, 50)) * 1e3,
+        "p99_ms": float(np.percentile(walls, 99)) * 1e3,
+        "wall_seconds": wall,
+        "qps": QUERIES / wall,
+        "frames_per_second": live.messages_sent / wall,
+        "bytes_on_wire": live.bytes_sent,
+        "bytes_per_query": live.bytes_sent / QUERIES,
+        "connections": live.connections,
+        "clean": live.clean_shutdown,
+        "dead": live.dead,
+    }
+
+
+@pytest.mark.perf_smoke
+def test_live_net_latency_and_throughput(capsys):
+    """Fleet boots, answers every query, and reports wire-level numbers."""
+    rows = [_run_setting(degree) for degree in DEGREES]
+
+    for row in rows:
+        # The bench is also a smoke test: every setting must come up,
+        # answer queries over real sockets, and shut down cleanly.
+        assert row["clean"] and not row["dead"]
+        assert row["answered"] > 0 and row["hits"] > 0
+        assert row["bytes_on_wire"] > 0
+
+    header = (
+        f"Live network runtime ({PEERS} peers, {STEPS} ACE rounds, "
+        f"{QUERIES} queries, realtime discipline"
+        f"{', quick' if QUICK else ''}):"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"  C={row['degree']:g}: first-response p50 {row['p50_ms']:.2f} ms"
+            f" / p99 {row['p99_ms']:.2f} ms, {row['qps']:.1f} queries/s, "
+            f"{row['frames_per_second']:,.0f} frames/s, "
+            f"{row['bytes_on_wire']:,} bytes on wire "
+            f"({row['bytes_per_query']:,.0f}/query, "
+            f"{row['connections']} connections)"
+        )
+    report(capsys, "\n".join(lines))
+
+    record_trajectory(
+        "bench_live_net",
+        path=NET_TRAJECTORY_PATH,
+        mode="quick" if QUICK else "full",
+        peers=PEERS,
+        steps=STEPS,
+        queries=QUERIES,
+        discipline="realtime",
+        settings=[
+            {
+                "degree": row["degree"],
+                "p50_ms": round(row["p50_ms"], 3),
+                "p99_ms": round(row["p99_ms"], 3),
+                "qps": round(row["qps"], 1),
+                "frames_per_second": round(row["frames_per_second"], 0),
+                "bytes_on_wire": row["bytes_on_wire"],
+                "connections": row["connections"],
+            }
+            for row in rows
+        ],
+    )

@@ -57,6 +57,11 @@ TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_soa.json"
 #: and the 100k-peer dynamic-churn demonstration.
 ACE_TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_ace.json"
 
+#: Trajectory for the live network runtime bench (``bench_live_net``):
+#: wire-level first-response latency, throughput and bytes-on-wire for the
+#: asyncio runtime under the realtime discipline.
+NET_TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_net.json"
+
 
 def record_trajectory(bench: str, path: Path = TRAJECTORY_PATH,
                       **fields: object) -> None:

@@ -13,6 +13,9 @@ Subcommands
     Tables 1-2: the six-peer worked example.
 ``topology``
     Section 4.1: generate and validate a topology pair.
+``net``
+    Live asyncio network runtime: real sockets, wire protocol, seed-node
+    bootstrap, optional sim-vs-live convergence check (docs/NETWORK.md).
 
 Every run is reproducible from ``--seed``.  Examples::
 
@@ -21,6 +24,7 @@ Every run is reproducible from ``--seed``.  Examples::
     python -m repro depth --degrees 4 10 --depths 1 2 3
     python -m repro walkthrough --depth 2
     python -m repro topology --peers 200
+    python -m repro net --peers 8 --check --perf
 """
 
 from __future__ import annotations
@@ -129,6 +133,34 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["ba", "waxman", "glp", "ws"])
     p_topo.add_argument("--overlay", dest="overlay_kind", default="small_world",
                         choices=["random", "power_law", "small_world"])
+
+    p_net = sub.add_parser(
+        "net", help="live asyncio network runtime (see docs/NETWORK.md)")
+    add_world_args(p_net, peers=8, degree=4.0)
+    p_net.add_argument("--steps", type=int, default=2,
+                       help="ACE optimization steps over the live fleet")
+    p_net.add_argument("--queries", type=int, default=6,
+                       help="queries in the live workload")
+    p_net.add_argument("--discipline", default="lockstep",
+                       choices=["lockstep", "realtime"],
+                       help="delivery discipline: 'lockstep' replays the "
+                            "simulator's event order exactly; 'realtime' "
+                            "delivers at wall-clock deadlines")
+    p_net.add_argument("--latency-scale", type=float, default=0.0,
+                       help="seconds per cost unit of injected latency "
+                            "(realtime discipline only)")
+    p_net.add_argument("--kill", type=int, default=None, metavar="PEER",
+                       help="kill this peer's sockets after the first query "
+                            "(degradation drill)")
+    p_net.add_argument("--post-kill-steps", type=int, default=1,
+                       help="extra ACE steps after the kill (exercises the "
+                            "retry/dead-marking path)")
+    p_net.add_argument("--check", action="store_true",
+                       help="also run the discrete-event simulator on the "
+                            "same scenario and fail unless the live run "
+                            "matches it exactly")
+    p_net.add_argument("--expect-hits", action="store_true",
+                       help="fail unless the workload produced QueryHits")
     return parser
 
 
@@ -310,12 +342,82 @@ def _cmd_topology(args, out) -> int:
     return 0
 
 
+def _cmd_net(args, out) -> int:
+    from .core.ace import AceConfig
+    from .experiments.reporting import format_table
+    from .experiments.setup import build_scenario
+    from .net.launch import (
+        compare_runs,
+        plan_queries,
+        run_live,
+        run_sim_reference,
+    )
+    from .net.runtime import NetConfig
+
+    ace = AceConfig()
+    net = NetConfig(
+        discipline=args.discipline, latency_scale=args.latency_scale
+    )
+    scenario = build_scenario(_scenario_config(args))
+    plan = plan_queries(scenario, args.queries)
+    live = run_live(
+        build_scenario(_scenario_config(args)), ace,
+        steps=args.steps, plan=plan, net=net,
+        kill_peer=args.kill, kill_after_query=0,
+        post_kill_steps=args.post_kill_steps if args.kill is not None else 0,
+    )
+    rows = []
+    for i, q in enumerate(live.queries):
+        if q.get("skipped"):
+            rows.append([i, q["source"], "-", "-", "-", "-", "skipped"])
+            continue
+        rows.append([
+            i, q["source"], q["query_messages"],
+            round(q["query_traffic"]), len(q["responders"]),
+            "-" if q["first_response_time"] is None
+            else round(q["first_response_time"]),
+            "ok" if q["drained"] else "late",
+        ])
+    print(format_table(
+        ["#", "source", "msgs", "traffic", "hits", "response", "drain"],
+        rows,
+        title=f"Live query workload ({args.discipline}, "
+              f"{args.peers} peers, {args.steps} ACE steps)",
+    ), file=out)
+    print(f"wire: {live.messages_sent} frames, {live.bytes_sent} bytes, "
+          f"{live.connections} connections, {live.retries} retries, "
+          f"{live.lost_frames} lost frames", file=out)
+    if live.dead:
+        print(f"dead peers: {live.dead}", file=out)
+    code = 0
+    if args.check:
+        ref = run_sim_reference(
+            build_scenario(_scenario_config(args)), ace, args.steps, plan
+        )
+        problems = compare_runs(
+            live, ref, check_queries=(args.discipline == "lockstep")
+        )
+        if args.kill is not None:
+            print("check: skipped (kill runs diverge by design)", file=out)
+        elif problems:
+            for p in problems:
+                print(f"MISMATCH {p}", file=out)
+            code = 4
+        else:
+            print("check: live run matches the simulation exactly", file=out)
+    if args.expect_hits and live.total_hits == 0:
+        print("FAIL: no QueryHits received", file=out)
+        code = code or 5
+    return code
+
+
 _COMMANDS = {
     "static": _cmd_static,
     "dynamic": _cmd_dynamic,
     "depth": _cmd_depth,
     "walkthrough": _cmd_walkthrough,
     "topology": _cmd_topology,
+    "net": _cmd_net,
 }
 
 

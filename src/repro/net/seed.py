@@ -1,0 +1,203 @@
+"""Seed node: bootstrap registry and ACE round orchestrator.
+
+The seed is the live fleet's rendezvous point, modeled on the classic
+bootstrap/tracker pattern: every peer dials it first, registers with a
+``Hello`` and receives a ``Welcome`` carrying the membership roster, the
+address book, its assigned bootstrap neighbors, its measured cost row and
+the protocol configuration.  After bootstrap the seed turns into the ACE
+round driver: one optimization *step* is a token-passing sweep —
+
+1. shuffle the sorted live roster with the protocol RNG (the exact draw
+   the simulator's ``AceProtocol.step`` makes),
+2. hand each peer in turn an :class:`~repro.net.wire.OptimizeTurn` token
+   carrying the serialized RNG state; the peer runs Phases 1-3 over live
+   probe/table/connect exchanges, advances the stream, and returns the new
+   state in its :class:`~repro.net.wire.TurnDone`,
+3. after every turn, sweep the same order again with ``recompute`` tokens
+   (the simulator's end-of-step Phase-2 refresh).
+
+Because exactly one peer holds the token at a time, the fleet consumes
+*one* RNG stream in the simulator's order, and turn-local float folds can
+be replayed globally — which is what makes the live run's step reports
+equal the simulator's float for float.
+
+A peer that cannot be reached (killed mid-run) is marked dead: its turn is
+skipped, later sweeps exclude it, and the step completes — degradation,
+not deadlock.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.ace import AceConfig, StepReport
+from .peer import LivePeer
+from .runtime import DeliveryCoordinator, NetConfig, PeerUnreachable, TrafficLedger
+from .wire import Envelope, Hello, OptimizeTurn, Shutdown, Welcome
+
+__all__ = ["SEED_ID", "PeerRecord", "SeedNode"]
+
+#: The seed's peer id — outside every valid overlay peer id.
+SEED_ID = -1
+
+
+class PeerRecord:
+    """What the seed knows about one expected peer."""
+
+    def __init__(
+        self, peer: int, neighbors: Tuple[int, ...], cost_row: Dict[int, float]
+    ) -> None:
+        self.peer = peer
+        self.neighbors = tuple(neighbors)
+        self.cost_row = dict(cost_row)
+
+
+class SeedNode(LivePeer):
+    """Bootstrap registry + token-passing ACE round driver."""
+
+    def __init__(
+        self,
+        net: NetConfig,
+        coordinator: DeliveryCoordinator,
+        ledger: TrafficLedger,
+        ace_config: AceConfig,
+        shed_floor: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(SEED_ID, net, coordinator, ledger)
+        self.ace_config = ace_config
+        self.shed_floor = shed_floor
+        #: The protocol RNG — the single stream the whole fleet consumes.
+        self.rng = rng
+        self.roster: Dict[int, PeerRecord] = {}
+        self.registered: Set[int] = set()
+        self.step_reports: List[StepReport] = []
+        #: Generous per-turn budget: one turn is many sequential RPCs.
+        self.turn_timeout = net.rpc_timeout * 8
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+
+    def expect(self, record: PeerRecord, address: Tuple[str, int]) -> None:
+        """Pre-register one expected peer (roster entry + address book)."""
+        self.roster[record.peer] = record
+        self.addresses[record.peer] = address
+
+    def _config_payload(self) -> Dict[str, object]:
+        payload = asdict(self.ace_config)
+        if not isinstance(payload.get("policy"), str):
+            raise ValueError(
+                "live runs need a named policy (a policy instance cannot "
+                "cross the wire)"
+            )
+        payload["shed_floor"] = self.shed_floor
+        return payload
+
+    async def on_hello(self, conn, hello: Hello, env: Envelope) -> None:
+        record = self.roster.get(hello.peer)
+        if record is None or env.rpc is None:
+            return
+        self.addresses[hello.peer] = (hello.host, hello.port)
+        self.registered.add(hello.peer)
+        welcome = Welcome(
+            peer=hello.peer,
+            members=tuple(sorted(self.roster)),
+            addresses=dict(self.addresses),
+            neighbors=record.neighbors,
+            cost_row=record.cost_row,
+            config=self._config_payload(),
+        )
+        await self._send_control(
+            conn, welcome,
+            Envelope(src=self.peer_id, dst=hello.peer, reply=env.rpc),
+        )
+
+    # ------------------------------------------------------------------
+    # ACE rounds
+    # ------------------------------------------------------------------
+
+    def live_order(self) -> List[int]:
+        """Sorted live roster — the simulator's ``overlay.peers()``."""
+        return [p for p in sorted(self.roster) if p not in self.dead]
+
+    async def run_step(self, step_index: int) -> StepReport:
+        """One optimization step across the fleet (sim ``step()`` live)."""
+        order = self.live_order()
+        self.rng.shuffle(order)
+        report = StepReport(step_index=step_index)
+        for peer in order:
+            if peer in self.dead:
+                continue
+            token = json.dumps(self.rng.bit_generator.state)
+            try:
+                done, _env = await self.rpc(
+                    peer,
+                    OptimizeTurn(
+                        phase="optimize",
+                        step_index=step_index,
+                        rng_state=token,
+                    ),
+                    timeout=self.turn_timeout,
+                    retries=0,  # a re-sent turn would mutate twice
+                )
+            except PeerUnreachable:
+                continue
+            if not done.ok:
+                continue
+            self.rng.bit_generator.state = json.loads(done.rng_state)
+            self._accumulate(report, done.report)
+        # End-of-step Phase-2 refresh, same order (the simulator's
+        # recompute_tree sweep): routing catches up with the final topology.
+        for peer in order:
+            if peer in self.dead:
+                continue
+            try:
+                await self.rpc(
+                    peer,
+                    OptimizeTurn(phase="recompute", step_index=step_index),
+                    timeout=self.turn_timeout,
+                    retries=0,
+                )
+            except PeerUnreachable:
+                continue
+        self.step_reports.append(report)
+        return report
+
+    @staticmethod
+    def _accumulate(report: StepReport, turn: Dict[str, object]) -> None:
+        """Fold one turn's outcome into the step report.
+
+        Integer fields are order-insensitive; the float probe costs are
+        folded term by term, left to right, replaying the simulator's
+        single step-wide accumulator exactly.
+        """
+        report.peers_optimized += int(turn.get("peers_optimized", 0))
+        report.probe_overhead += float(turn.get("probe_overhead", 0.0))
+        report.exchange_overhead += float(turn.get("exchange_overhead", 0.0))
+        for cost in turn.get("replacement_probe_costs", ()):
+            report.replacement_probe_overhead += cost
+        report.replacements += int(turn.get("replacements", 0))
+        report.keep_both_adds += int(turn.get("keep_both_adds", 0))
+        report.redundant_sheds += int(turn.get("redundant_sheds", 0))
+        report.probes += int(turn.get("probes", 0))
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    async def shutdown_all(self, reason: str = "done") -> None:
+        """Tell every reachable peer to stop."""
+        for peer in self.live_order():
+            try:
+                conn = await self.connect_to(peer)
+                await self._send_control(
+                    conn, Shutdown(reason=reason),
+                    Envelope(src=self.peer_id, dst=peer),
+                )
+            except (PeerUnreachable, ConnectionError, OSError):
+                continue

@@ -1,0 +1,188 @@
+"""One peer's ACE optimization turn, executed over a live overlay view.
+
+This module is the live runtime's counterpart of
+:meth:`repro.core.ace.AceProtocol.optimize_peer` — the same Phases 1-3 in
+the same order with the same float accounting, but running against a
+*view* object whose reads and writes are live protocol exchanges
+(:class:`repro.net.peer.TurnView`: cost probes, table fetches, connect
+requests) instead of direct overlay access.
+
+The decision code itself is not reimplemented: closures, Phase-1
+accounting, the Prim MST and the Figure-4 replacement engine are the very
+functions from :mod:`repro.core` — they are written against the duck-typed
+overlay surface, so handing them a live view pins the float evaluation
+order to the simulator's bit for bit.  Only the step-level sequencing
+(shed, target truncation, report accumulation), which in the simulator
+lives inside ``AceProtocol``, is mirrored here; it must evolve in lockstep
+with ``repro.core.ace``.
+
+Everything here is synchronous: the peer runs a turn in a worker thread
+and bridges each view operation back into its event loop, so its socket
+reader keeps serving other peers' probes mid-turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Sequence
+
+import numpy as np
+
+from ..core.ace import AceConfig
+from ..core.closure import neighbor_closure
+from ..core.cost_table import run_phase1
+from ..core.policies import CandidatePolicy
+from ..core.replacement import attempt_replacement
+from ..core.spanning_tree import prim_mst_heap
+
+__all__ = ["TurnOutcome", "execute_optimize_turn", "compute_phase2"]
+
+
+@dataclass
+class TurnOutcome:
+    """What one optimization turn produced at one peer.
+
+    ``report`` uses the field names of
+    :class:`~repro.core.ace.StepReport`, so the seed can accumulate turn
+    outcomes into a step report the simulator's equals float for float.
+    """
+
+    flooding: FrozenSet[int] = frozenset()
+    known: FrozenSet[int] = frozenset()
+    report: Dict[str, Any] = field(default_factory=dict)
+
+
+def compute_phase2(view, peer: int, depth: int) -> TurnOutcome:
+    """Phase 2 only: rebuild the peer's tree from live tables (no charges).
+
+    The live twin of :meth:`~repro.core.ace.AceProtocol.recompute_tree`.
+    """
+    closure = neighbor_closure(view, peer, depth)
+    tree = prim_mst_heap(closure.edges, peer)
+    return TurnOutcome(
+        flooding=frozenset(tree.tree_neighbors(peer)),
+        known=frozenset(view.neighbors(peer)),
+        report={},
+    )
+
+
+def _shed_redundant(
+    view, peer: int, non_flooding: Sequence[int], config: AceConfig,
+    shed_floor: int,
+) -> List[int]:
+    """Live mirror of ``AceProtocol._shed_redundant`` (same order, floats).
+
+    ``shed_floor`` arrives from the seed's config: the simulator derives it
+    from the bootstrap overlay's average degree at protocol construction,
+    which no live peer can observe locally.
+    """
+    sheds: List[int] = []
+    my_neighbors = view.neighbors(peer)
+    d_peer = view.costs_from(
+        peer, sorted(set(non_flooding) | set(my_neighbors))
+    )
+    ordered = sorted(non_flooding, key=lambda t: (-d_peer[t], t))
+    for target in ordered:
+        if len(sheds) >= config.max_sheds_per_step:
+            break
+        if not view.has_edge(peer, target):
+            continue
+        if (
+            view.degree(peer) <= shed_floor
+            or view.degree(target) <= shed_floor
+        ):
+            continue
+        d_pt = d_peer[target]
+        mutual = view.neighbors(peer) & view.neighbors(target)
+        if not mutual:
+            continue
+        d_target = view.costs_from(target, sorted(mutual))
+        for w in mutual:
+            if d_peer[w] < d_pt and d_target[w] < d_pt:
+                view.disconnect(peer, target)
+                sheds.append(target)
+                break
+    return sheds
+
+
+def execute_optimize_turn(
+    view,
+    peer: int,
+    config: AceConfig,
+    shed_floor: int,
+    policy: CandidatePolicy,
+    rng: np.random.Generator,
+) -> TurnOutcome:
+    """Phases 1-3 at one peer — ``AceProtocol.optimize_peer`` over a view.
+
+    *rng* is the shared protocol stream, restored from the turn token; the
+    caller serializes its advanced state back into the token afterwards.
+    """
+    # ``replacement_probe_costs`` stays a *list* of per-action floats: the
+    # simulator folds every action's probe cost into one step-wide
+    # accumulator left to right, and float addition is not associative —
+    # pre-summing per turn would lose the last ulp.  The seed replays the
+    # same global fold from these lists.
+    report: Dict[str, Any] = {
+        "peers_optimized": 1,
+        "probe_overhead": 0.0,
+        "exchange_overhead": 0.0,
+        "replacement_probe_costs": [],
+        "replacements": 0,
+        "keep_both_adds": 0,
+        "redundant_sheds": 0,
+        "probes": 0,
+    }
+
+    closure = neighbor_closure(view, peer, config.depth)
+    phase1 = run_phase1(
+        view,
+        closure,
+        round_trip_factor=config.round_trip_factor,
+        entry_cost_factor=config.entry_cost_factor,
+    )
+    tree = prim_mst_heap(closure.edges, peer)
+    flooding = frozenset(tree.tree_neighbors(peer))
+    known = frozenset(view.neighbors(peer))
+    report["probe_overhead"] += phase1.probe_cost
+    report["exchange_overhead"] += phase1.exchange_cost
+
+    non_flooding = sorted(known - flooding)
+    if config.shed_redundant:
+        shed = _shed_redundant(view, peer, non_flooding, config, shed_floor)
+        report["redundant_sheds"] += len(shed)
+        if shed:
+            non_flooding = [
+                t for t in non_flooding if view.has_edge(peer, t)
+            ]
+
+    targets = policy.targets(view, peer, non_flooding, rng)
+    if config.max_targets_per_step is not None:
+        targets = targets[: config.max_targets_per_step]
+
+    for target in targets:
+        if not view.has_edge(peer, target):
+            continue  # cut earlier in this same turn
+        action = attempt_replacement(
+            view,
+            peer,
+            target,
+            policy,
+            rng,
+            max_probes=config.max_probes_per_target,
+            round_trip_factor=config.round_trip_factor,
+            max_degree=config.max_degree,
+            min_degree=config.min_degree,
+            allow_keep_both=config.allow_keep_both,
+        )
+        report["probes"] += action.probes
+        report["replacement_probe_costs"].append(action.probe_cost)
+        if action.kind == "replace":
+            report["replacements"] += 1
+        elif action.kind == "keep_both":
+            report["keep_both_adds"] += 1
+
+    # Mutations above changed the adjacency; report routing state from the
+    # *pre-mutation* tree exactly like the simulator (its end-of-step
+    # recompute pass refreshes every peer afterwards, and so does ours).
+    return TurnOutcome(flooding=flooding, known=known, report=report)

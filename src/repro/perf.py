@@ -94,6 +94,14 @@ class PerfCounters:
     #: Closure extractions avoided by the ``(epoch, depth)`` reuse cache
     #: (scalar refresh/recompute sharing) or the kernel's rebuild shortcut.
     closure_reuses: int = 0
+    #: Outbound socket connections opened by the live network runtime.
+    net_connections: int = 0
+    #: Frames transmitted by the live runtime (control + data planes).
+    net_messages_sent: int = 0
+    #: Bytes put on the wire by the live runtime (framed, encoded size).
+    net_bytes_sent: int = 0
+    #: Reconnect/RPC retry attempts made by the live runtime.
+    net_retries: int = 0
 
     # ------------------------------------------------------------------
 
@@ -194,6 +202,11 @@ class PerfCounters:
             f"{self.closure_batch_peers} closures batch-extracted, "
             f"{self.closure_reuses} closure reuses, "
             f"{self.churn_batch_mutations} churn mutations batched"
+        )
+        lines.append(
+            f"  net: {self.net_connections} connections, "
+            f"{self.net_messages_sent} frames / {self.net_bytes_sent} bytes "
+            f"sent, {self.net_retries} retries"
         )
         return "\n".join(lines)
 

@@ -1,0 +1,211 @@
+"""Wire-codec tests: every descriptor round-trips bit-exactly.
+
+The convergence guarantee of the live runtime rests on the codec being
+lossless: the simulator's cost floats, GUIDs, and table entries must
+survive the socket unchanged.  These tests round-trip one instance of
+every registered message class (simulator descriptors and control frames),
+assert equality field for field, and exercise the failure modes — unknown
+type ids, truncated frames, version mismatches, oversized bodies — plus
+byte-at-a-time reassembly through :class:`repro.net.wire.FrameAssembler`.
+"""
+
+import struct
+
+import pytest
+
+from repro.net.wire import (
+    HEADER,
+    MAX_BODY_BYTES,
+    WIRE_VERSION,
+    ConnectAck,
+    Envelope,
+    FrameAssembler,
+    FrameTooLarge,
+    GetPeers,
+    GetTable,
+    Hello,
+    OptimizeTurn,
+    PeerSample,
+    Shutdown,
+    TruncatedFrame,
+    TurnDone,
+    UnknownMessageType,
+    VersionMismatch,
+    Welcome,
+    WireError,
+    decode_frame,
+    encode_frame,
+    message_types,
+    type_id_of,
+)
+from repro.sim.messages import (
+    ConnectRequest,
+    CostProbe,
+    CostProbeReply,
+    CostTableMessage,
+    DisconnectNotice,
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
+)
+
+# Floats chosen to be awkward: 0.1 + 0.2 != 0.3, and the sum's exact bits
+# must survive JSON; 1/3 has a full 53-bit mantissa.
+AWKWARD = 0.1 + 0.2
+THIRD = 1.0 / 3.0
+
+ENV = Envelope(src=3, dst=7, ltime=AWKWARD, seq=41, rpc=5, reply=None)
+
+#: One instance of every registered message class, with non-default
+#: values in every field that has one.
+SAMPLES = [
+    Ping(sender=1, guid=101, ttl=5, hops=2),
+    Pong(sender=2, guid=102, ttl=4, hops=3),
+    Query(sender=3, guid=103, ttl=6, hops=1, object_id=17),
+    Query(sender=3, guid=104, ttl=6, hops=1, object_id="an object"),
+    QueryHit(sender=4, guid=103, ttl=2, hops=1, object_id=17, responder=9),
+    CostProbe(sender=5, guid=105, ttl=1, hops=0, target=8),
+    CostProbeReply(sender=8, guid=106, ttl=1, hops=0, target=5),
+    CostTableMessage(
+        sender=6,
+        guid=107,
+        entries=((2, AWKWARD), (9, THIRD), (11, 0.0)),
+    ),
+    ConnectRequest(sender=7, guid=108, target=12),
+    DisconnectNotice(sender=8, guid=109, target=13),
+    Hello(peer=3, host="127.0.0.1", port=4444),
+    Welcome(
+        peer=3,
+        members=(0, 1, 2, 3),
+        addresses={0: ("127.0.0.1", 5000), 2: ("127.0.0.1", 5002)},
+        neighbors=(0, 2),
+        cost_row={0: AWKWARD, 1: THIRD, 2: 4.25},
+        config={"depth": 1, "policy": "random", "max_targets_per_step": None},
+    ),
+    GetPeers(count=4),
+    PeerSample(addresses={5: ("10.0.0.1", 6000)}),
+    GetTable(peer=9),
+    ConnectAck(accepted=False),
+    OptimizeTurn(phase="optimize", step_index=3, rng_state='{"s": 1}'),
+    TurnDone(rng_state='{"s": 2}', report={"probes": 4, "cost": THIRD}),
+    Shutdown(reason="test over"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "message", SAMPLES, ids=lambda m: type(m).__name__
+    )
+    def test_round_trips_bit_exactly(self, message):
+        frame = encode_frame(message, ENV)
+        decoded, env, consumed = decode_frame(frame)
+        assert consumed == len(frame)
+        assert type(decoded) is type(message)
+        assert decoded == message
+        assert env == ENV
+        # Field-for-field identity, including float bits and container types.
+        for name in vars(message):
+            got, want = getattr(decoded, name), getattr(message, name)
+            assert got == want
+            assert type(got) is type(want)
+
+    def test_every_registered_type_is_covered(self):
+        covered = {type(m) for m in SAMPLES}
+        assert covered == set(message_types().values())
+
+    def test_cost_table_entries_keep_exact_shape(self):
+        msg = CostTableMessage(sender=1, entries=((4, AWKWARD),))
+        decoded, _env, _n = decode_frame(encode_frame(msg, ENV))
+        assert isinstance(decoded.entries, tuple)
+        assert isinstance(decoded.entries[0], tuple)
+        assert isinstance(decoded.entries[0][0], int)
+        # The float survives with its exact bits (0.30000000000000004).
+        assert decoded.entries[0][1] == AWKWARD
+        assert struct.pack("!d", decoded.entries[0][1]) == struct.pack(
+            "!d", AWKWARD
+        )
+
+    def test_welcome_int_keys_survive_json(self):
+        msg = Welcome(peer=1, cost_row={7: 1.5}, addresses={7: ("h", 1)})
+        decoded, _env, _n = decode_frame(encode_frame(msg, ENV))
+        assert decoded.cost_row == {7: 1.5}
+        assert decoded.addresses == {7: ("h", 1)}
+        assert all(isinstance(k, int) for k in decoded.cost_row)
+
+    def test_envelope_defaults_round_trip(self):
+        env = Envelope(src=0, dst=1)
+        decoded, got_env, _n = decode_frame(encode_frame(Ping(sender=0), env))
+        assert got_env == env
+        assert got_env.rpc is None and got_env.reply is None
+
+
+class TestRejection:
+    def test_unknown_type_id_rejected(self):
+        frame = encode_frame(Ping(sender=1), ENV)
+        bad = HEADER.pack(len(frame) - HEADER.size, WIRE_VERSION, 200)
+        with pytest.raises(UnknownMessageType):
+            decode_frame(bad + frame[HEADER.size:])
+
+    def test_unregistered_class_rejected_at_encode(self):
+        with pytest.raises(UnknownMessageType):
+            encode_frame(object(), ENV)
+        with pytest.raises(UnknownMessageType):
+            type_id_of("not a message")
+
+    def test_truncated_header_rejected(self):
+        frame = encode_frame(Ping(sender=1), ENV)
+        for cut in range(HEADER.size):
+            with pytest.raises(TruncatedFrame):
+                decode_frame(frame[:cut])
+
+    def test_truncated_body_rejected(self):
+        frame = encode_frame(Query(sender=1, object_id=5), ENV)
+        for cut in range(HEADER.size, len(frame)):
+            with pytest.raises(TruncatedFrame):
+                decode_frame(frame[:cut])
+
+    def test_version_mismatch_rejected(self):
+        frame = encode_frame(Ping(sender=1), ENV)
+        length, _version, tid = HEADER.unpack_from(frame)
+        bad = HEADER.pack(length, WIRE_VERSION + 1, tid) + frame[HEADER.size:]
+        with pytest.raises(VersionMismatch):
+            decode_frame(bad)
+
+    def test_oversized_declared_body_rejected(self):
+        bad = HEADER.pack(MAX_BODY_BYTES + 1, WIRE_VERSION, 1)
+        with pytest.raises(FrameTooLarge):
+            decode_frame(bad)
+
+    def test_garbage_body_rejected(self):
+        body = b"not json at all"
+        frame = HEADER.pack(len(body), WIRE_VERSION, 1) + body
+        with pytest.raises(WireError):
+            decode_frame(frame)
+
+
+class TestFrameAssembler:
+    def test_byte_at_a_time_reassembly(self):
+        frames = b"".join(encode_frame(m, ENV) for m in SAMPLES)
+        assembler = FrameAssembler()
+        got = []
+        for i in range(len(frames)):
+            got.extend(assembler.feed(frames[i:i + 1]))
+        assert [m for m, _e in got] == SAMPLES
+        assert all(e == ENV for _m, e in got)
+        assert assembler.pending_bytes == 0
+
+    def test_multiple_frames_in_one_feed(self):
+        frames = b"".join(encode_frame(m, ENV) for m in SAMPLES[:5])
+        assembler = FrameAssembler()
+        got = assembler.feed(frames)
+        assert [m for m, _e in got] == SAMPLES[:5]
+
+    def test_partial_frame_stays_buffered(self):
+        frame = encode_frame(Shutdown(reason="x"), ENV)
+        assembler = FrameAssembler()
+        assert assembler.feed(frame[:-3]) == []
+        assert assembler.pending_bytes == len(frame) - 3
+        got = assembler.feed(frame[-3:])
+        assert [m for m, _e in got] == [Shutdown(reason="x")]
+        assert assembler.pending_bytes == 0

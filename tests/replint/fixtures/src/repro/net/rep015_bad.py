@@ -1,0 +1,9 @@
+"""REP015 fixture: the net runtime reaching up into the experiment layer."""
+
+import repro.experiments.setup
+from repro.experiments import runner
+from ..experiments.setup import build_scenario
+
+
+def build(config):
+    return build_scenario(config), runner, repro.experiments.setup

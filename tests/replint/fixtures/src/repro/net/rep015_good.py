@@ -1,0 +1,11 @@
+"""REP015 fixture: sockets, sleeps and clocks are at home inside repro.net."""
+
+import asyncio
+import socket
+import time
+
+
+async def wait_for_quiet(loop, seconds):
+    time.sleep(0.0)
+    await asyncio.sleep(seconds)
+    return loop.time(), time.time(), socket.AF_INET

@@ -1,0 +1,14 @@
+"""REP015 fixture: blocking I/O and wall clock leaked below repro.net."""
+
+import socket
+import time
+from time import sleep as pause
+
+
+def wait_for_peer(loop, address):
+    conn = socket.create_connection(address)
+    time.sleep(0.5)
+    pause(0.1)
+    started = time.time()
+    deadline = loop.time() + 5.0
+    return conn, started, deadline

@@ -1,0 +1,9 @@
+"""REP015 fixture: duration measurement below repro.net is sanctioned."""
+
+import time
+
+
+def measure(work):
+    started = time.perf_counter()
+    work()
+    return time.perf_counter() - started

@@ -439,3 +439,49 @@ class TestSuppressionHygiene:
         # itself, and the line-level REP001 pragma it tried to shield
         assert [v.code for v in violations] == ["REP013", "REP013"]
         assert lines(violations) == [1, 3]
+
+
+class TestNetBoundary:
+    def test_blocking_io_below_net_is_flagged(self):
+        violations = run_rule("REP015", "src/repro/search/rep015_bad.py")
+        assert all(v.code == "REP015" for v in violations)
+        # import socket, time.sleep, the `sleep as pause` alias,
+        # time.time(), and the event loop's loop.time().
+        assert lines(violations) == [3, 10, 11, 12, 13]
+
+    def test_socket_message_names_the_boundary(self):
+        violations = run_rule("REP015", "src/repro/search/rep015_bad.py")
+        socket_v = [v for v in violations if v.line == 3]
+        assert "repro.net" in socket_v[0].message
+        sleep_v = [v for v in violations if v.line == 10]
+        assert "asyncio.sleep" in sleep_v[0].message
+
+    def test_duration_measurement_below_net_is_clean(self):
+        assert run_rule("REP015", "src/repro/search/rep015_good.py") == []
+
+    def test_net_importing_experiments_is_flagged(self):
+        violations = run_rule("REP015", "src/repro/net/rep015_bad.py")
+        assert all(v.code == "REP015" for v in violations)
+        # plain import, from-import, and the relative upward import.
+        assert lines(violations) == [3, 4, 5]
+        relative = [v for v in violations if v.line == 5]
+        assert "repro.experiments.setup" in relative[0].message
+
+    def test_net_modules_may_use_sockets_and_clocks(self):
+        assert run_rule("REP015", "src/repro/net/rep015_good.py") == []
+
+    def test_sim_wall_clock_left_to_rep001(self):
+        # One diagnostic per defect: REP001 owns wall-clock reads in
+        # repro.sim/repro.core, so REP015 stays quiet there (it would
+        # still flag sockets and sleeps in those packages).
+        assert run_rule(
+            "REP015", "src/repro/sim/rep001_wallclock_bad.py"
+        ) == []
+
+    def test_rule_scoped_to_repro_modules(self, tmp_path):
+        # Outside a src/ root there is no module name: benchmarks and
+        # test helpers may sleep and read the clock freely.
+        source = (FIXTURES / "src/repro/search/rep015_bad.py").read_text()
+        helper = tmp_path / "bench_helper.py"
+        helper.write_text(source)
+        assert check_file(helper, [rules_by_code()["REP015"]]) == []

@@ -26,6 +26,8 @@ REP012    float-order             no order-dependent float reductions over sets 
 REP013    suppression-hygiene     every disable pragma carries a justification
 REP014    ace-kernel              step/churn drivers never refresh ACE state one
                                   peer at a time; the batched kernel instead
+REP015    net-boundary            wall clocks, sockets and sleeps live only in
+                                  repro.net; repro.net never imports experiments
 ========  ======================  =====================================================
 
 ``REP000`` is reserved for parse errors (emitted by the engine, not a rule).
@@ -45,6 +47,7 @@ from .cache_coherence import CacheCoherenceRule
 from .determinism import DeterminismRule
 from .float_order import FloatOrderRule
 from .layering import LayeringRule
+from .net_boundary import NetBoundaryRule
 from .no_topology_pickling import NoTopologyPicklingRule
 from .oracle_seam import OracleSeamRule
 from .perf_hygiene import PerfHygieneRule
@@ -69,6 +72,7 @@ __all__ = [
     "FloatOrderRule",
     "SuppressionHygieneRule",
     "AceKernelRule",
+    "NetBoundaryRule",
     "default_rules",
     "rules_by_code",
 ]
@@ -93,6 +97,7 @@ def default_rules() -> List[AnyRule]:
         FloatOrderRule(),
         SuppressionHygieneRule(),
         AceKernelRule(),
+        NetBoundaryRule(),
     ]
 
 

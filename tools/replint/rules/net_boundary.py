@@ -1,0 +1,214 @@
+"""REP015 — the live-network boundary: real I/O stays inside ``repro.net``.
+
+PR 9 added a live asyncio runtime (``repro.net``) that runs the protocol
+over real sockets.  Its convergence guarantee — a seeded live run equals
+the discrete-event simulator bit for bit — only holds if *all* real-world
+coupling stays behind that package boundary:
+
+* **Blocking sockets, sleeps and wall-clock reads outside ``repro.net``**
+  — ``import socket``, ``time.sleep()`` and ``time.time()``/``time_ns()``
+  (or an event loop's ``loop.time()``) anywhere else in ``repro.*`` lets
+  host-machine state leak into layers whose outputs must be a pure
+  function of the seed.  REP001 already polices wall-clock reads in the
+  simulation kernels (``repro.sim``/``repro.core``); REP015 extends the
+  blocking-I/O ban to the whole tree and leaves those two prefixes'
+  wall-clock reads to REP001 so each defect gets one diagnostic.
+  Duration measurement (``time.perf_counter``/``monotonic``) stays
+  allowed everywhere.
+* **``repro.net`` importing ``repro.experiments``** — the runtime takes a
+  duck-typed scenario (anything with ``overlay``/``catalog``/``config``)
+  precisely so the socket layer never depends on the experiment drivers;
+  an upward import here would make the live runtime untestable without
+  the figure pipeline and reopen the REP003 layering hole one package up.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ..engine import FileContext, Rule, Violation
+
+#: The package whose modules are allowed to touch sockets and clocks.
+_NET_PREFIX = "repro.net"
+
+#: Prefixes whose wall-clock reads REP001 already flags (one diagnostic
+#: per defect: REP015 skips the clock check there, not the socket check).
+_REP001_PREFIXES = ("repro.sim", "repro.core")
+
+#: Wall-clock attributes of the ``time`` module (perf_counter/monotonic
+#: measure durations and stay allowed).
+_WALL_CLOCK = {"time", "time_ns"}
+
+#: ``time`` attributes that block the calling thread.
+_BLOCKING = {"sleep"}
+
+
+class NetBoundaryRule(Rule):
+    """Keep real I/O inside ``repro.net`` and experiments out of it."""
+
+    code = "REP015"
+    name = "net-boundary"
+    description = (
+        "wall-clock reads, blocking sockets and sleeps live only in "
+        "repro.net; repro.net never imports repro.experiments"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        module = ctx.module
+        if module is None or not _in_package(module, "repro"):
+            return
+        if _in_package(module, _NET_PREFIX):
+            yield from self._check_net_imports(ctx)
+        else:
+            yield from self._check_real_io(ctx, module)
+
+    # -- inside repro.net: no experiment-layer imports -----------------
+
+    def _check_net_imports(self, ctx: FileContext) -> Iterator[Violation]:
+        is_package = ctx.path.name == "__init__.py"
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _in_package(alias.name, "repro.experiments"):
+                        yield self._upward(ctx, node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                resolved = _resolve_import(ctx.module, node, is_package)
+                if resolved and _in_package(resolved, "repro.experiments"):
+                    yield self._upward(ctx, node, resolved)
+
+    def _upward(
+        self, ctx: FileContext, node: ast.stmt, imported: str
+    ) -> Violation:
+        return ctx.violation(
+            node,
+            self.code,
+            f"{ctx.module} imports {imported}: the live runtime must stay "
+            "independent of the experiment drivers — take a duck-typed "
+            "scenario (overlay/catalog/config) instead",
+        )
+
+    # -- outside repro.net: no sockets, sleeps, wall clocks ------------
+
+    def _check_real_io(
+        self, ctx: FileContext, module: str
+    ) -> Iterator[Violation]:
+        clock_is_rep001s = _in_package(module, _REP001_PREFIXES)
+        aliases = _collect_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "socket" or alias.name.startswith("socket."):
+                        yield self._socket(ctx, node)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "socket":
+                    yield self._socket(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, aliases, clock_is_rep001s)
+
+    def _socket(self, ctx: FileContext, node: ast.stmt) -> Violation:
+        return ctx.violation(
+            node,
+            self.code,
+            f"blocking socket I/O in {ctx.module}: real sockets live only "
+            "in repro.net (the asyncio runtime); everything below it "
+            "models the network with simulated message passing",
+        )
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        aliases: "_TimeAliases",
+        clock_is_rep001s: bool,
+    ) -> Iterator[Violation]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in aliases.time_module:
+                if func.attr in _BLOCKING:
+                    yield self._blocking(ctx, node, f"time.{func.attr}")
+                elif func.attr in _WALL_CLOCK and not clock_is_rep001s:
+                    yield self._clock(ctx, node, f"time.{func.attr}")
+            elif (
+                func.attr == "time"
+                and isinstance(base, ast.Name)
+                and base.id.endswith("loop")
+                and not clock_is_rep001s
+            ):
+                yield self._clock(ctx, node, f"{base.id}.time")
+        elif isinstance(func, ast.Name):
+            if func.id in aliases.blocking_funcs:
+                yield self._blocking(ctx, node, func.id)
+            elif func.id in aliases.wall_clock_funcs and not clock_is_rep001s:
+                yield self._clock(ctx, node, func.id)
+
+    def _blocking(self, ctx: FileContext, node: ast.AST, name: str) -> Violation:
+        return ctx.violation(
+            node,
+            self.code,
+            f"{name}() blocks the thread outside repro.net; simulated "
+            "layers advance logical time on the event heap, and the live "
+            "runtime uses asyncio.sleep",
+        )
+
+    def _clock(self, ctx: FileContext, node: ast.AST, name: str) -> Violation:
+        return ctx.violation(
+            node,
+            self.code,
+            f"wall-clock {name}() outside repro.net couples a seeded "
+            "layer to the host clock; keep real time behind the network "
+            "boundary (perf_counter for duration measurement is fine)",
+        )
+
+
+class _TimeAliases:
+    """Names the file binds to the ``time`` module and its functions."""
+
+    def __init__(self) -> None:
+        self.time_module: Set[str] = set()
+        self.wall_clock_funcs: Set[str] = set()
+        self.blocking_funcs: Set[str] = set()
+
+
+def _collect_aliases(tree: ast.Module) -> _TimeAliases:
+    out = _TimeAliases()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    out.time_module.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "time":
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if alias.name in _WALL_CLOCK:
+                        out.wall_clock_funcs.add(bound)
+                    elif alias.name in _BLOCKING:
+                        out.blocking_funcs.add(bound)
+    return out
+
+
+def _in_package(module: str, prefixes) -> bool:
+    if isinstance(prefixes, str):
+        prefixes = (prefixes,)
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+def _resolve_import(
+    module: Optional[str], node: ast.ImportFrom, is_package: bool
+) -> Optional[str]:
+    """Absolute dotted target of an ImportFrom, or ``None`` if unknown."""
+    if node.level == 0:
+        return node.module
+    if module is None:
+        return None
+    package = module.split(".")
+    if not is_package:
+        package = package[:-1]
+    if len(package) < node.level - 1:
+        return None
+    base = package[: len(package) - (node.level - 1)]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
